@@ -1,0 +1,1 @@
+bench/ablation.ml: Dudetm_baselines Dudetm_core Dudetm_harness Dudetm_nvm Dudetm_sim Dudetm_tm Dudetm_workloads Float List Option Printf

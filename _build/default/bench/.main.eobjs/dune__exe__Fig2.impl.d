@@ -1,0 +1,1 @@
+bench/fig2.ml: Dudetm_harness List Printf

@@ -1,0 +1,1 @@
+bench/fig3.ml: Dudetm_baselines Dudetm_core Dudetm_harness Dudetm_sim Dudetm_workloads List Option Printf

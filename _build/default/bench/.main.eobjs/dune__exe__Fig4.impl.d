@@ -1,0 +1,1 @@
+bench/fig4.ml: Dudetm_baselines Dudetm_core Dudetm_harness Dudetm_shadow Dudetm_sim Dudetm_workloads List Printf

@@ -1,0 +1,1 @@
+bench/fig5.ml: Dudetm_baselines Dudetm_harness Dudetm_workloads List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Analyze Array Bechamel Benchmark Fig2 Fig3 Fig4 Fig5 Hashtbl List Measure Printf Recovery_bench Staged String Sys Table1 Table2 Table3 Table4 Test Time Toolkit Ycsb_bench

@@ -1,0 +1,1 @@
+bench/recovery_bench.ml: Dudetm_core Dudetm_harness Dudetm_nvm Dudetm_sim Dudetm_tm Int64 List Printf Sys

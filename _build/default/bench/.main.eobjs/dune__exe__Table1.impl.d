@@ -1,0 +1,1 @@
+bench/table1.ml: Dudetm_harness Dudetm_workloads List Printf

@@ -1,0 +1,1 @@
+bench/table2.ml: Dudetm_harness List Printf

@@ -1,0 +1,1 @@
+bench/table3.ml: Dudetm_harness Dudetm_sim Dudetm_workloads List Printf

@@ -1,0 +1,1 @@
+bench/table4.ml: Dudetm_baselines Dudetm_core Dudetm_harness Dudetm_tm Dudetm_workloads List Printf

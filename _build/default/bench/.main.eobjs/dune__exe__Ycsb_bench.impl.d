@@ -1,0 +1,1 @@
+bench/ycsb_bench.ml: Array Dudetm_baselines Dudetm_harness Dudetm_sim Dudetm_workloads List Printf

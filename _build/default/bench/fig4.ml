@@ -1,0 +1,71 @@
+(* Figure 4: swap overhead — throughput of updating a B+-tree key-value
+   store as the shadow DRAM shrinks below the NVM size, for two Zipfian
+   constants and both paging implementations (software page table vs
+   hardware/TLB with shootdowns). *)
+
+open Dudetm_harness.Harness
+module W = Dudetm_workloads
+module Config = Dudetm_core.Config
+module Shadow = Dudetm_shadow.Shadow
+module Rng = Dudetm_sim.Rng
+module B = Dudetm_baselines
+module Ptm = B.Ptm_intf
+
+let heap = 8 * 1024 * 1024
+
+let records = 160_000
+
+let shadow_fracs = [ 1.0; 0.5; 0.25; 0.125 ]
+
+let thetas = [ 0.99; 1.07 ]
+
+let run_point ~mode ~frames ~theta ~ntxs =
+  let cfg =
+    {
+      (dude_config ~heap ()) with
+      Config.shadow_frames = Some frames;
+      shadow_mode = mode;
+    }
+  in
+  let ptm, _ = B.Dude_ptm.Stm.ptm cfg in
+  let bench =
+    {
+      bname = "swap";
+      think = 300;
+      ntxs;
+      static_ok = false;
+      setup =
+        (fun ptm ->
+          let y = W.Ycsb.setup ptm ~records ~theta ~read_fraction:0.0 () in
+          fun ~thread ~rng ->
+            W.Ycsb.update_only y ~thread ~rng;
+            0);
+    }
+  in
+  run_bench ptm bench
+
+let run ?(scale = 1.0) () =
+  section "Figure 4: swap overhead vs shadow-memory size\n(B+-tree KV update workload; NVM heap 8 MiB, working set ~65%; 4 threads)";
+  let ntxs = int_of_float (20_000.0 *. scale) in
+  let pages = heap / 4096 in
+  Printf.printf "%-22s %-8s" "series" "theta";
+  List.iter (fun f -> Printf.printf "%14s" (Printf.sprintf "%.0f%% shadow" (100.0 *. f))) shadow_fracs;
+  print_newline ();
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun theta ->
+          Printf.printf "%-22s %-8.2f"
+            (match mode with Shadow.Software -> "software paging" | Shadow.Hardware -> "hardware paging")
+            theta;
+          List.iter
+            (fun frac ->
+              let frames = max 64 (int_of_float (float_of_int pages *. frac)) in
+              let r = run_point ~mode ~frames ~theta ~ntxs in
+              Printf.printf "%14s%!" (pp_ktps r.ktps))
+            shadow_fracs;
+          print_newline ())
+        thetas)
+    [ Shadow.Software; Shadow.Hardware ]
+
+let tiny () = ignore (run_point ~mode:Shadow.Software ~frames:512 ~theta:0.99 ~ntxs:300)

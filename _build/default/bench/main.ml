@@ -1,0 +1,109 @@
+(* Benchmark harness entry point.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation section (printing paper-shaped tables); `--bechamel` instead
+   runs one Bechamel micro-benchmark per table/figure over scaled-down
+   instances, reporting wall-clock cost of the harness itself.
+
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- fig2 table3     # selected experiments
+     dune exec bench/main.exe -- --scale 0.25    # quicker, smaller runs
+     dune exec bench/main.exe -- --full          # adds the 100k group to fig3
+     dune exec bench/main.exe -- --bechamel      # Bechamel micro-bench mode *)
+
+let experiments scale full =
+  [
+    ("fig2", fun () -> Fig2.run ~scale ());
+    ("table1", fun () -> Table1.run ~scale ());
+    ("table2", fun () -> Table2.run ~scale ());
+    ("table3", fun () -> Table3.run ~scale ());
+    ("fig3", fun () -> Fig3.run ~full ());
+    ("fig4", fun () -> Fig4.run ~scale ());
+    ("fig5", fun () -> Fig5.run ~scale ());
+    ("table4", fun () -> Table4.run ~scale ());
+    ("ablation", fun () -> Ablation.run ~scale ());
+    ("ycsb", fun () -> Ycsb_bench.run ~scale ());
+    ("recovery", fun () -> Recovery_bench.run ~scale ());
+  ]
+
+let bechamel_tests =
+  [
+    ("fig2", Fig2.tiny);
+    ("table1", Table1.tiny);
+    ("table2", Table2.tiny);
+    ("table3", Table3.tiny);
+    ("fig3", Fig3.tiny);
+    ("fig4", Fig4.tiny);
+    ("fig5", Fig5.tiny);
+    ("table4", Table4.tiny);
+    ("ablation", Ablation.tiny);
+    ("ycsb", Ycsb_bench.tiny);
+    ("recovery", Recovery_bench.tiny);
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage f))
+      bechamel_tests
+  in
+  let grouped = Test.make_grouped ~name:"dudetm" ~fmt:"%s/%s" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "%-24s %16s\n" "benchmark" "wall per run";
+  Hashtbl.iter
+    (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ t ] -> Printf.printf "%-24s %13.3f ms\n" name (t /. 1e6)
+      | _ -> Printf.printf "%-24s %16s\n" name "n/a")
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 in
+  let full = ref false in
+  let bechamel = ref false in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--full" :: rest ->
+      full := true;
+      parse rest
+    | "--bechamel" :: rest ->
+      bechamel := true;
+      parse rest
+    | name :: rest ->
+      selected := name :: !selected;
+      parse rest
+  in
+  parse args;
+  if !bechamel then run_bechamel ()
+  else begin
+    let exps = experiments !scale !full in
+    let wanted =
+      if !selected = [] then exps
+      else
+        List.map
+          (fun name ->
+            match List.assoc_opt name exps with
+            | Some f -> (name, f)
+            | None ->
+              Printf.eprintf "unknown experiment %S (have: %s)\n" name
+                (String.concat ", " (List.map fst exps));
+              exit 2)
+          (List.rev !selected)
+    in
+    List.iter (fun (_, f) -> f ()) wanted;
+    print_newline ()
+  end

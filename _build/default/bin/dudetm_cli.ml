@@ -1,0 +1,187 @@
+(* Command-line driver: run any benchmark workload on any evaluated system
+   with custom parameters, or run randomized crash-recovery torture.
+
+     dune exec bin/dudetm_cli.exe -- run --workload hashtable --system dude
+     dune exec bin/dudetm_cli.exe -- run -w tpcc-tree -s mnemosyne -n 2000 --threads 8
+     dune exec bin/dudetm_cli.exe -- torture --rounds 100
+     dune exec bin/dudetm_cli.exe -- layout *)
+
+open Cmdliner
+module H = Dudetm_harness.Harness
+module Config = Dudetm_core.Config
+module Nvm = Dudetm_nvm.Nvm
+module Sched = Dudetm_sim.Sched
+module Rng = Dudetm_sim.Rng
+module Stats = Dudetm_sim.Stats
+module W = Dudetm_workloads
+module D = Dudetm_core.Dudetm.Make (Dudetm_tm.Tinystm)
+
+(* ------------------------------- run ---------------------------------- *)
+
+let workload_of_string = function
+  | "hashtable" -> Ok (H.hashtable_bench ())
+  | "bptree" -> Ok (H.bptree_bench ())
+  | "tatp-hash" -> Ok (H.tatp_bench ~storage:W.Kv.Hash ())
+  | "tatp-tree" -> Ok (H.tatp_bench ~storage:W.Kv.Tree ())
+  | "tpcc-hash" -> Ok (H.tpcc_bench ~storage:W.Kv.Hash ())
+  | "tpcc-tree" -> Ok (H.tpcc_bench ~storage:W.Kv.Tree ())
+  | "tpcc-mixed" -> Ok (H.tpcc_bench ~storage:W.Kv.Tree ~mixed:true ())
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown workload %S (try hashtable, bptree, tatp-hash, tatp-tree, tpcc-hash, tpcc-tree, tpcc-mixed)"
+           s))
+
+let system_of_string = function
+  | "dude" -> Ok H.Dude
+  | "dude-inf" -> Ok H.Dude_inf
+  | "dude-sync" -> Ok H.Dude_sync
+  | "volatile" -> Ok H.Volatile
+  | "mnemosyne" -> Ok H.Mnemosyne
+  | "nvml" -> Ok H.Nvml
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown system %S (try dude, dude-inf, dude-sync, volatile, mnemosyne, nvml)" s))
+
+let workload_conv = Arg.conv (workload_of_string, fun ppf b -> Fmt.string ppf b.H.bname)
+
+let system_conv = Arg.conv (system_of_string, fun ppf s -> Fmt.string ppf (H.system_name s))
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Benchmark workload to run.")
+  in
+  let system =
+    Arg.(
+      value & opt system_conv H.Dude
+      & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"Durable-transaction system.")
+  in
+  let ntxs =
+    Arg.(value & opt int 0 & info [ "n"; "txs" ] ~doc:"Transactions to run (0 = default).")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Perform threads.") in
+  let bandwidth =
+    Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"NVM write bandwidth, GB/s.")
+  in
+  let latency =
+    Arg.(value & opt int 1000 & info [ "latency" ] ~doc:"Persist latency, cycles.")
+  in
+  let counters =
+    Arg.(value & flag & info [ "counters" ] ~doc:"Print all system counters afterwards.")
+  in
+  let run workload system ntxs threads bandwidth latency counters =
+    if system = H.Nvml && not workload.H.static_ok then
+      `Error (false, "NVML only supports the hash-based (static) workloads")
+    else begin
+      let bench = if ntxs > 0 then { workload with H.ntxs } else workload in
+      let ptm = H.make_system ~nthreads:threads ~latency ~bandwidth system in
+      let r = H.run_bench ptm bench in
+      Printf.printf "%s on %s: %d transactions, %d threads, %.1f GB/s, %d-cycle persists\n"
+        bench.H.bname ptm.Dudetm_baselines.Ptm_intf.name r.H.ntxs_run threads bandwidth latency;
+      Printf.printf "  throughput:       %s\n" (H.pp_ktps r.H.ktps);
+      Printf.printf "  cycles per tx:    %.0f (wall, all threads)\n" r.H.cycles_per_tx;
+      Printf.printf "  writes per tx:    %.1f\n"
+        (float_of_int r.H.writes /. float_of_int (max 1 r.H.ntxs_run));
+      Printf.printf "  NVM write bytes:  %d (%.1f per tx)\n" r.H.nvm_bytes
+        (float_of_int r.H.nvm_bytes /. float_of_int (max 1 r.H.ntxs_run));
+      if counters then begin
+        print_endline "  counters:";
+        List.iter (fun (k, v) -> Printf.printf "    %-28s %d\n" k v) r.H.counters
+      end;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload on one system and report throughput.")
+    Term.(ret (const run $ workload $ system $ ntxs $ threads $ bandwidth $ latency $ counters))
+
+(* ------------------------------ torture ------------------------------- *)
+
+exception Crashed
+
+let torture_round cfg seed =
+  let rng = Rng.create seed in
+  let crash_cycles = 1_000 + Rng.int rng 500_000 in
+  let evict = Rng.float rng in
+  let t = D.create cfg in
+  let slots = 128 in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            D.start t;
+            for th = 0 to cfg.Config.nthreads - 1 do
+              ignore
+                (Sched.spawn (Printf.sprintf "w%d" th) (fun () ->
+                     while true do
+                       ignore
+                         (D.atomically t ~thread:th (fun tx ->
+                              let c = D.read tx 0 in
+                              let c1 = Int64.add c 1L in
+                              D.write tx (8 + (8 * (Int64.to_int c1 mod slots))) c1;
+                              D.write tx 0 c1))
+                     done))
+            done;
+            Sched.advance crash_cycles;
+            raise Crashed))
+   with Crashed -> ());
+  Nvm.crash ~evict_fraction:evict ~rng (D.nvm t);
+  let t2, report = D.attach cfg (D.nvm t) in
+  let d = report.Dudetm_core.Dudetm.durable in
+  if D.heap_read_u64 t2 0 <> Int64.of_int d then
+    failwith (Printf.sprintf "round %d: counter != durable id %d" seed d);
+  (crash_cycles, evict, d)
+
+let torture_cmd =
+  let rounds = Arg.(value & opt int 50 & info [ "rounds" ] ~doc:"Crash rounds to run.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print each round.") in
+  let run rounds verbose =
+    let cfg =
+      {
+        Config.default with
+        Config.heap_size = 1 lsl 20;
+        nthreads = 3;
+        vlog_capacity = 1024;
+        plog_size = 1 lsl 14;
+      }
+    in
+    for seed = 1 to rounds do
+      let cycles, evict, d = torture_round cfg seed in
+      if verbose then
+        Printf.printf "round %3d: crash@%-7d evict=%.2f durable=%d OK\n%!" seed cycles evict d
+    done;
+    Printf.printf "torture: %d randomized crash/recovery rounds, all consistent\n" rounds
+  in
+  Cmd.v
+    (Cmd.info "torture" ~doc:"Randomized crash-point injection with recovery verification.")
+    Term.(const run $ rounds $ verbose)
+
+(* ------------------------------ layout -------------------------------- *)
+
+let layout_cmd =
+  let run () =
+    let cfg = Config.default in
+    Printf.printf "default configuration:\n";
+    Printf.printf "  heap:            %d MiB at offset 0\n" (cfg.Config.heap_size lsr 20);
+    Printf.printf "  meta block:      %d KiB at 0x%x\n" (cfg.Config.meta_size lsr 10)
+      (Config.meta_base cfg);
+    Printf.printf "  log rings:       %d x %d KiB starting at 0x%x\n"
+      (Config.plog_regions cfg) (cfg.Config.plog_size lsr 10) (Config.plog_base cfg 0);
+    Printf.printf "  device size:     %d MiB\n" (Config.nvm_size cfg lsr 20);
+    Printf.printf "  threads:         %d\n" cfg.Config.nthreads;
+    Printf.printf "  volatile log:    %d entries per thread\n" cfg.Config.vlog_capacity;
+    Printf.printf "  NVM:             %.1f GB/s, %d-cycle persists\n"
+      cfg.Config.pmem.Dudetm_nvm.Pmem_config.bandwidth_gbps
+      cfg.Config.pmem.Dudetm_nvm.Pmem_config.persist_latency
+  in
+  Cmd.v (Cmd.info "layout" ~doc:"Print the default NVM layout and configuration.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "DudeTM: decoupled durable transactions for persistent memory (simulated)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dudetm" ~doc) [ run_cmd; torture_cmd; layout_cmd ]))

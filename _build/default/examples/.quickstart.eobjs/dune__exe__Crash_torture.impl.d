@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Int64 Printf Sys

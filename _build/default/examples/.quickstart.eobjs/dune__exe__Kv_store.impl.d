@@ -1,0 +1,1 @@
+examples/kv_store.ml: Char Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_workloads Int64 List Option Printf String

@@ -1,0 +1,1 @@
+examples/persistent_queue.ml: Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Int64 Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Int64 Printf

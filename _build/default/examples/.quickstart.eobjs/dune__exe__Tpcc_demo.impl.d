@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_workloads Printf

@@ -1,0 +1,1 @@
+lib/baselines/dude_ptm.ml: Dudetm_core Dudetm_sim Dudetm_tm List Ptm_intf

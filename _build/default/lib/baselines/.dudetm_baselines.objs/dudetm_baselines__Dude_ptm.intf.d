@@ -1,0 +1,1 @@
+lib/baselines/dude_ptm.mli: Dudetm_core Dudetm_nvm Dudetm_tm Ptm_intf

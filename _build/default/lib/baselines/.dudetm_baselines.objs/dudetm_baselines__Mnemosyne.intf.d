@@ -1,0 +1,1 @@
+lib/baselines/mnemosyne.mli: Dudetm_nvm Dudetm_tm Ptm_intf

@@ -1,0 +1,1 @@
+lib/baselines/nvml.ml: Bytes Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Hashtbl Int64 List Ptm_intf

@@ -1,0 +1,1 @@
+lib/baselines/nvml.mli: Dudetm_nvm Ptm_intf

@@ -1,0 +1,1 @@
+lib/baselines/ptm_intf.ml: Dudetm_nvm

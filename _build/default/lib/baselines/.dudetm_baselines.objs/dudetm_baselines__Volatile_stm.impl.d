@@ -1,0 +1,1 @@
+lib/baselines/volatile_stm.ml: Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm List Ptm_intf

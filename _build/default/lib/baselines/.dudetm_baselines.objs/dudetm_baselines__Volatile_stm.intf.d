@@ -1,0 +1,1 @@
+lib/baselines/volatile_stm.mli: Dudetm_tm Ptm_intf

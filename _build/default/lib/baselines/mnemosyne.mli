@@ -1,0 +1,43 @@
+(** Mnemosyne baseline (Volos et al., ASPLOS 2011) as characterized in the
+    paper's Section 5.2.2.
+
+    A redo-logging durable STM: write-back transactions buffer updates in a
+    per-transaction write set; reads of uncommitted data are redirected
+    through that set (an address-hash lookup per read — the update
+    redirection cost); commit persists the redo log to NVM {e synchronously}
+    (the per-transaction persist stall), then applies updates in place.
+    Every transactional access additionally pays the Intel STM compiler's
+    instrumentation overhead, and flushing log lines with [CLFLUSH]
+    invalidates them, charged as a cache-refill penalty.
+
+    Transactions are durable at commit: [durable_id = last_tid]. *)
+
+type config = {
+  heap_size : int;
+  root_size : int;
+  nthreads : int;
+  pmem : Dudetm_nvm.Pmem_config.t;
+  log_size : int;  (** per-thread redo-log region, bytes *)
+  tm_costs : Dudetm_tm.Tm_intf.costs;
+  instrument_cost : int;  (** extra cycles per instrumented access *)
+  redirect_cost : int;  (** write-set hash lookup on each read *)
+  clflush_penalty : int;  (** cache-invalidation refill cost per flushed line *)
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val ptm_of : ?name:string -> t -> Ptm_intf.t
+
+val ptm : ?name:string -> config -> Ptm_intf.t
+
+val nvm : t -> Dudetm_nvm.Nvm.t
+
+val recover : t -> int
+(** Crash recovery: replay every sealed redo record (commit-marked; torn
+    tails are ignored) onto the home locations in commit order, persist,
+    and truncate the logs.  Returns the number of records replayed. *)

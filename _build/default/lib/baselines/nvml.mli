@@ -1,0 +1,48 @@
+(** NVML (Intel's persistent-memory library, now PMDK) baseline as
+    characterized in the paper's Sections 2.2 and 5.2.2.
+
+    Undo logging with {e static} transactions: the caller declares the
+    write set up front, so all old values are logged and persisted with a
+    single persist ordering at transaction begin.  NVML transactions give
+    no isolation; concurrency control is the application's job, modelled
+    here as striped blocking locks acquired in sorted order over the
+    declared write set.  Each transaction also pays NVML's dynamic
+    allocation of transaction metadata and undo buffers, calibrated to the
+    paper's observation of at most ~1.14 M empty transactions per second
+    per thread.
+
+    Transactions are durable at commit. *)
+
+type config = {
+  heap_size : int;
+  root_size : int;
+  nthreads : int;
+  pmem : Dudetm_nvm.Pmem_config.t;
+  log_size : int;  (** per-thread undo-log region, bytes *)
+  tx_overhead : int;  (** metadata/undo allocation cycles per transaction *)
+  undo_entry_cost : int;  (** snapshotting work per declared write-set word *)
+  alloc_cost : int;  (** transactional persistent allocation, cycles *)
+  read_cost : int;  (** plain load — no instrumentation *)
+  write_cost : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val ptm_of : ?name:string -> t -> Ptm_intf.t
+
+val ptm : ?name:string -> config -> Ptm_intf.t
+(** [requires_static] is true: pass the transaction's write set through
+    [atomically ~wset].  Writing an address outside the declared set raises
+    [Invalid_argument]. *)
+
+val nvm : t -> Dudetm_nvm.Nvm.t
+
+val recover : t -> int
+(** Crash recovery: roll back any in-flight transaction from its persisted
+    undo log (the batched old values written at transaction begin) and
+    retire the logs.  Returns the number of transactions rolled back. *)

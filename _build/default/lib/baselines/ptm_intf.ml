@@ -1,0 +1,44 @@
+(** First-class interface shared by every durable-transaction system in the
+    evaluation (DudeTM in its modes, Volatile-STM, Mnemosyne, NVML), so the
+    workloads and the benchmark harness are written once.
+
+    Mirrors the paper's five-call API plus persistent allocation.  Systems
+    that only support {e static} transactions (NVML) set [requires_static]
+    and expect the declared write set via [?wset]; the others ignore it. *)
+
+exception Aborted
+(** Raised by [tx.abort]; absorbed by [atomically], which returns [None]. *)
+
+type tx = {
+  read : int -> int64;
+  write : int -> int64 -> unit;
+  abort : unit -> unit;  (** raises {!Aborted}; never returns *)
+  pmalloc : int -> int;
+  pfree : off:int -> len:int -> unit;
+}
+
+type t = {
+  name : string;
+  requires_static : bool;
+  nthreads : int;
+  root_base : int;
+  atomically : 'a. thread:int -> ?wset:int list -> (tx -> 'a) -> ('a * int) option;
+      (** [Some (result, tid)] on commit ([tid = 0] when the system has no
+          meaningful transaction IDs or the transaction was read-only);
+          [None] when the body called [abort]. *)
+  peek : int -> int64;
+      (** Non-transactional read of the current (volatile) data image; used
+          by static-transaction planning and by test assertions. *)
+  durable_id : unit -> int;
+  last_tid : unit -> int;
+  start : unit -> unit;  (** spawn any background threads (inside Sched.run) *)
+  drain : unit -> unit;  (** wait until everything committed is durable *)
+  stop : unit -> unit;
+  nvm : Dudetm_nvm.Nvm.t option;  (** for NVM-traffic accounting; [None] for Volatile-STM *)
+  counters : unit -> (string * int) list;
+      (** Merged system-specific statistics (TM aborts, log entries, ...). *)
+  prealloc : (int -> int) option;
+      (** Static-transaction systems only: allocate persistent memory
+          {e outside} a transaction, so the addresses can be declared in the
+          write set of the transaction that initializes them. *)
+}

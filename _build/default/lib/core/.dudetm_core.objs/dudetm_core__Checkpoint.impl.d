@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Bytes Dudetm_log Dudetm_nvm Int64 List

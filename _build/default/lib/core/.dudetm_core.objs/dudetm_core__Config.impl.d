@@ -1,0 +1,1 @@
+lib/core/config.ml: Dudetm_nvm Dudetm_shadow Dudetm_tm

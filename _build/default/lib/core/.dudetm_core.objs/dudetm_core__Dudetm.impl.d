@@ -1,0 +1,1 @@
+lib/core/dudetm.ml: Alloc Array Bytes Checkpoint Config Dudetm_log Dudetm_nvm Dudetm_shadow Dudetm_sim Dudetm_tm Hashtbl List Printf Queue

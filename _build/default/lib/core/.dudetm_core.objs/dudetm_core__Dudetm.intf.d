@@ -1,0 +1,1 @@
+lib/core/dudetm.mli: Config Dudetm_nvm Dudetm_sim Dudetm_tm

@@ -1,0 +1,74 @@
+type t = { mutable exts : (int * int) list (* (off, len), sorted by off, coalesced *) }
+
+let round8 n = (n + 7) land lnot 7
+
+let create ~base ~size =
+  let usable = size land lnot 7 in
+  if usable <= 0 then invalid_arg "Alloc.create";
+  { exts = [ (base, usable) ] }
+
+let restore exts =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) exts in
+  let rec check = function
+    | (o1, l1) :: ((o2, _) :: _ as rest) ->
+      if o1 + l1 > o2 then invalid_arg "Alloc.restore: overlapping extents";
+      check rest
+    | _ -> ()
+  in
+  check sorted;
+  { exts = sorted }
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Alloc.alloc: non-positive size";
+  let n = round8 n in
+  let rec go acc = function
+    | [] -> None
+    | (off, len) :: rest when len >= n ->
+      let remaining = if len = n then rest else (off + n, len - n) :: rest in
+      t.exts <- List.rev_append acc remaining;
+      Some off
+    | ext :: rest -> go (ext :: acc) rest
+  in
+  go [] t.exts
+
+let free t ~off ~len =
+  if len <= 0 then invalid_arg "Alloc.free: non-positive size";
+  let len = round8 len in
+  let rec insert = function
+    | [] -> [ (off, len) ]
+    | (o, l) :: rest ->
+      if off + len <= o then (off, len) :: (o, l) :: rest
+      else if o + l <= off then (o, l) :: insert rest
+      else invalid_arg "Alloc.free: block overlaps a free extent"
+  in
+  let rec coalesce = function
+    | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 -> coalesce ((o1, l1 + l2) :: rest)
+    | ext :: rest -> ext :: coalesce rest
+    | [] -> []
+  in
+  t.exts <- coalesce (insert t.exts)
+
+let reserve t ~off ~len =
+  if len <= 0 then invalid_arg "Alloc.reserve: non-positive size";
+  let len = round8 len in
+  let rec go acc = function
+    | [] -> invalid_arg "Alloc.reserve: range not free"
+    | (o, l) :: rest when o <= off && off + len <= o + l ->
+      let pieces =
+        (if o < off then [ (o, off - o) ] else [])
+        @ if off + len < o + l then [ (off + len, o + l - off - len) ] else []
+      in
+      t.exts <- List.rev_append acc (pieces @ rest)
+    | (o, l) :: rest ->
+      if o < off + len && off < o + l then invalid_arg "Alloc.reserve: range partially free"
+      else go ((o, l) :: acc) rest
+  in
+  go [] t.exts
+
+let extents t = t.exts
+
+let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.exts
+
+let copy t = { exts = t.exts }
+
+let equal a b = a.exts = b.exts

@@ -1,0 +1,41 @@
+(** Persistent-heap allocator (Section 3.5).
+
+    The free list itself is volatile: durability comes from logging every
+    [pmalloc]/[pfree] as redo-log entries and checkpointing the free list
+    into the meta block before log records are recycled.  On recovery the
+    checkpoint is restored and the allocation entries of durable
+    transactions past the checkpoint are replayed.
+
+    First-fit over a sorted extent list with coalescing; all sizes round up
+    to 8-byte granularity so every allocation is word-aligned. *)
+
+type t
+
+val create : base:int -> size:int -> t
+(** One free extent covering [\[base, base+size)]. *)
+
+val restore : (int * int) list -> t
+(** Rebuild from checkpointed free extents (offset, length). *)
+
+val alloc : t -> int -> int option
+(** [alloc t n] carves [n] bytes (rounded up to 8) first-fit; [None] when no
+    extent fits. *)
+
+val free : t -> off:int -> len:int -> unit
+(** Return a block, coalescing with neighbours.  Raises
+    [Invalid_argument] if the block overlaps a free extent (double free). *)
+
+val reserve : t -> off:int -> len:int -> unit
+(** Remove exactly [\[off, off + round8 len)] from the free list — the
+    replay form of an [Alloc] log entry, which must reproduce the original
+    placement rather than run first-fit again.  Raises [Invalid_argument]
+    if the range is not entirely free. *)
+
+val extents : t -> (int * int) list
+(** Free extents sorted by offset. *)
+
+val free_bytes : t -> int
+
+val copy : t -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,101 @@
+module Nvm = Dudetm_nvm.Nvm
+module Checksum = Dudetm_log.Checksum
+
+type state = {
+  reproduced_upto : int;
+  free_extents : (int * int) list;
+}
+
+type t = {
+  nvm : Nvm.t;
+  base : int;
+  slot_size : int;
+  mutable next_seq : int;
+  mutable next_slot : int;  (* 0 or 1 *)
+}
+
+(* Slot layout: seq u64, reproduced_upto u64, n_extents u64,
+   n_extents * (off u64, len u64), crc u64.  CRC covers everything before
+   it. *)
+let slot_overhead = 32
+
+let max_extents_of_slot slot_size = (slot_size - slot_overhead) / 16
+
+let encode state ~seq ~slot_size =
+  let exts = state.free_extents in
+  let n = List.length exts in
+  if slot_overhead + (16 * n) > slot_size then
+    invalid_arg "Checkpoint: free list exceeds slot capacity";
+  let b = Bytes.make (slot_overhead + (16 * n)) '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int seq);
+  Bytes.set_int64_le b 8 (Int64.of_int state.reproduced_upto);
+  Bytes.set_int64_le b 16 (Int64.of_int n);
+  List.iteri
+    (fun i (off, len) ->
+      Bytes.set_int64_le b (24 + (16 * i)) (Int64.of_int off);
+      Bytes.set_int64_le b (32 + (16 * i)) (Int64.of_int len))
+    exts;
+  let crc = Checksum.crc32 b 0 (Bytes.length b - 8) in
+  Bytes.set_int64_le b (Bytes.length b - 8) (Int64.of_int32 crc);
+  b
+
+let decode nvm ~slot_base ~slot_size =
+  let head = Nvm.load_bytes nvm slot_base 24 in
+  let seq = Int64.to_int (Bytes.get_int64_le head 0) in
+  let upto = Int64.to_int (Bytes.get_int64_le head 8) in
+  let n = Int64.to_int (Bytes.get_int64_le head 16) in
+  if n < 0 || slot_overhead + (16 * n) > slot_size then None
+  else begin
+    let total = slot_overhead + (16 * n) in
+    let b = Nvm.load_bytes nvm slot_base total in
+    let crc = Int64.to_int32 (Bytes.get_int64_le b (total - 8)) in
+    if Checksum.crc32 b 0 (total - 8) <> crc then None
+    else begin
+      let exts = ref [] in
+      for i = n - 1 downto 0 do
+        exts :=
+          ( Int64.to_int (Bytes.get_int64_le b (24 + (16 * i))),
+            Int64.to_int (Bytes.get_int64_le b (32 + (16 * i))) )
+          :: !exts
+      done;
+      Some (seq, { reproduced_upto = upto; free_extents = !exts })
+    end
+  end
+
+let slot_base t i = t.base + (i * t.slot_size)
+
+let write_slot t slot state ~seq =
+  let b = encode state ~seq ~slot_size:t.slot_size in
+  Nvm.store_bytes t.nvm (slot_base t slot) b;
+  Nvm.persist t.nvm ~off:(slot_base t slot) ~len:(Bytes.length b)
+
+let format nvm ~base ~size state =
+  if size < 2 * (slot_overhead + 16) then invalid_arg "Checkpoint.format: meta block too small";
+  let t = { nvm; base; slot_size = size / 2; next_seq = 2; next_slot = 0 } in
+  (* Write both slots so attach always finds a valid one even if the first
+     real checkpoint tears. *)
+  write_slot t 0 state ~seq:0;
+  write_slot t 1 state ~seq:1;
+  t
+
+let attach nvm ~base ~size =
+  if size < 2 * (slot_overhead + 16) then invalid_arg "Checkpoint.attach: meta block too small";
+  let slot_size = size / 2 in
+  let s0 = decode nvm ~slot_base:base ~slot_size in
+  let s1 = decode nvm ~slot_base:(base + slot_size) ~slot_size in
+  match (s0, s1) with
+  | None, None -> invalid_arg "Checkpoint.attach: no valid checkpoint"
+  | Some (seq, st), None ->
+    ({ nvm; base; slot_size; next_seq = seq + 1; next_slot = 1 }, st)
+  | None, Some (seq, st) ->
+    ({ nvm; base; slot_size; next_seq = seq + 1; next_slot = 0 }, st)
+  | Some (q0, st0), Some (q1, st1) ->
+    if q0 > q1 then ({ nvm; base; slot_size; next_seq = q0 + 1; next_slot = 1 }, st0)
+    else ({ nvm; base; slot_size; next_seq = q1 + 1; next_slot = 0 }, st1)
+
+let write t state =
+  write_slot t t.next_slot state ~seq:t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.next_slot <- 1 - t.next_slot
+
+let max_extents t = max_extents_of_slot t.slot_size

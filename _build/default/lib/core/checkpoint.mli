@@ -1,0 +1,28 @@
+(** Double-buffered persistent checkpoint in the meta block.
+
+    Records the Reproduce watermark ([reproduced_upto]: every transaction
+    with ID at or below it has its data persisted in the heap) together with
+    the allocator free list as of that transaction.  Written alternately to
+    two slots, each sealed with a sequence number and CRC, so a crash during
+    a checkpoint write leaves the previous checkpoint intact. *)
+
+type state = {
+  reproduced_upto : int;
+  free_extents : (int * int) list;
+}
+
+type t
+
+val format : Dudetm_nvm.Nvm.t -> base:int -> size:int -> state -> t
+(** Initialize both slots; persists the initial [state] as checkpoint 0. *)
+
+val attach : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t * state
+(** Read back the newest valid slot.  Raises [Invalid_argument] if neither
+    slot validates (the meta block was never formatted). *)
+
+val write : t -> state -> unit
+(** Persist a new checkpoint into the older slot (one persist ordering).
+    Raises [Invalid_argument] if the free list does not fit a slot. *)
+
+val max_extents : t -> int
+(** How many free extents a slot can hold. *)

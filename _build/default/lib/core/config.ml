@@ -1,0 +1,89 @@
+type mode = Async | Sync | Inf
+
+type t = {
+  heap_size : int;
+  root_size : int;
+  nthreads : int;
+  mode : mode;
+  pmem : Dudetm_nvm.Pmem_config.t;
+  shadow_mode : Dudetm_shadow.Shadow.mode;
+  shadow_frames : int option;
+  vlog_capacity : int;
+  plog_size : int;
+  meta_size : int;
+  group_size : int;
+  combine : bool;
+  compress : bool;
+  persist_threads : int;
+  reproduce_batch : int;
+  checkpoint_records : int;
+  tm_costs : Dudetm_tm.Tm_intf.costs;
+  log_append_cost : int;
+  flush_cost_per_entry : int;
+  compress_cost_per_byte : float;
+  reproduce_cost_per_entry : int;
+  seed : int;
+}
+
+let default =
+  {
+    heap_size = 16 * 1024 * 1024;
+    root_size = 4096;
+    nthreads = 4;
+    mode = Async;
+    pmem = Dudetm_nvm.Pmem_config.default;
+    shadow_mode = Dudetm_shadow.Shadow.Software;
+    shadow_frames = None;
+    vlog_capacity = 1 lsl 17;
+    plog_size = 1 lsl 21;
+    meta_size = 1 lsl 17;
+    group_size = 1;
+    combine = false;
+    compress = false;
+    persist_threads = 1;
+    reproduce_batch = 64;
+    checkpoint_records = 8;
+    tm_costs = Dudetm_tm.Tm_intf.default_costs;
+    log_append_cost = 80;
+    flush_cost_per_entry = 6;
+    compress_cost_per_byte = 2.0;
+    reproduce_cost_per_entry = 24;
+    seed = 42;
+  }
+
+let with_mode mode t = { t with mode }
+
+let with_pmem pmem t = { t with pmem }
+
+let plog_regions t = if t.combine then t.persist_threads else t.nthreads
+
+let heap_base _ = 0
+
+let meta_base t = t.heap_size
+
+let plog_base t i = t.heap_size + t.meta_size + (i * t.plog_size)
+
+let nvm_size t =
+  let raw = t.heap_size + t.meta_size + (plog_regions t * t.plog_size) in
+  let line = t.pmem.Dudetm_nvm.Pmem_config.line_size in
+  (raw + line - 1) / line * line
+
+let validate t =
+  let fail msg = invalid_arg ("Config: " ^ msg) in
+  if t.heap_size <= 0 || t.heap_size land 4095 <> 0 then fail "heap_size must be a positive multiple of 4096";
+  if t.root_size < 8 || t.root_size > t.heap_size then fail "bad root_size";
+  if t.nthreads < 1 then fail "nthreads < 1";
+  if t.vlog_capacity < 16 then fail "vlog_capacity too small";
+  if t.plog_size < 4096 then fail "plog_size too small";
+  if t.meta_size < 4096 then fail "meta_size too small";
+  if t.group_size < 1 then fail "group_size < 1";
+  if t.persist_threads < 1 then fail "persist_threads < 1";
+  if t.combine && t.persist_threads <> 1 then
+    fail "cross-transaction combination requires a single persist thread";
+  if (not t.combine) && t.compress then fail "compression requires combination";
+  if t.reproduce_batch < 1 then fail "reproduce_batch < 1";
+  if t.checkpoint_records < 1 then fail "checkpoint_records < 1";
+  (match t.shadow_frames with
+  | Some f when f < 2 -> fail "shadow_frames < 2"
+  | _ -> ());
+  if t.mode = Sync && t.combine then fail "Sync mode flushes per transaction; combination needs Async"

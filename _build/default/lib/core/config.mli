@@ -1,0 +1,69 @@
+(** DudeTM instance configuration and NVM layout.
+
+    The simulated NVM device is partitioned as:
+    {v
+      [0, heap_size)                      persistent data heap
+      [heap_size, +meta_size)             meta block (allocator checkpoint,
+                                          reproduced-upto watermark)
+      [.., +plog_regions * plog_size)     persistent redo-log rings
+    v} *)
+
+(** How a transaction acknowledges durability (Section 5.1's evaluated
+    systems). *)
+type mode =
+  | Async  (** decoupled: [dtmEnd] returns after Perform (DUDETM) *)
+  | Sync  (** the Perform thread flushes its own log and waits
+              (DUDETM-Sync) *)
+  | Inf  (** decoupled with unbounded volatile log buffers (DUDETM-Inf) *)
+
+type t = {
+  heap_size : int;  (** bytes of persistent data heap *)
+  root_size : int;  (** reserved root block at heap offset 0 *)
+  nthreads : int;  (** Perform threads *)
+  mode : mode;
+  pmem : Dudetm_nvm.Pmem_config.t;
+  shadow_mode : Dudetm_shadow.Shadow.mode;
+  shadow_frames : int option;  (** [None]: shadow as large as the heap *)
+  vlog_capacity : int;  (** volatile log entries per thread *)
+  plog_size : int;  (** bytes per persistent log ring *)
+  meta_size : int;
+  group_size : int;  (** transactions per persist group *)
+  combine : bool;  (** cross-transaction write combination *)
+  compress : bool;  (** LZ-compress combined groups before flushing *)
+  persist_threads : int;
+  reproduce_batch : int;  (** transactions applied per reproduce round *)
+  checkpoint_records : int;  (** checkpoint + recycle every N completed log records *)
+  tm_costs : Dudetm_tm.Tm_intf.costs;
+  log_append_cost : int;  (** cycles per [dtmWrite] log append *)
+  flush_cost_per_entry : int;  (** persist-thread CPU work per entry *)
+  compress_cost_per_byte : float;
+  reproduce_cost_per_entry : int;
+  seed : int;
+}
+
+val default : t
+(** 4-thread, 16 MiB heap, async mode, 1 GB/s / 1000-cycle NVM, no
+    paging, no combination — the paper's base configuration scaled to
+    simulator-friendly sizes. *)
+
+val with_mode : mode -> t -> t
+
+val with_pmem : Dudetm_nvm.Pmem_config.t -> t -> t
+
+val plog_regions : t -> int
+(** Number of persistent log rings: one per Perform thread, or a single
+    merged ring when combination groups transactions across threads. *)
+
+val heap_base : t -> int
+
+val meta_base : t -> int
+
+val plog_base : t -> int -> int
+(** Base offset of ring [i]. *)
+
+val nvm_size : t -> int
+(** Total device size implied by the layout (line-aligned). *)
+
+val validate : t -> unit
+(** Raise [Invalid_argument] for inconsistent configurations (e.g.
+    combination with several persist threads, heap not page-aligned). *)

@@ -1,0 +1,790 @@
+module Mem = Dudetm_nvm.Mem
+module Nvm = Dudetm_nvm.Nvm
+module Shadow = Dudetm_shadow.Shadow
+module Sched = Dudetm_sim.Sched
+module Stats = Dudetm_sim.Stats
+module Log_entry = Dudetm_log.Log_entry
+module Vlog = Dudetm_log.Vlog
+module Plog = Dudetm_log.Plog
+module Combine = Dudetm_log.Combine
+module Lz = Dudetm_log.Lz
+module Tm_intf = Dudetm_tm.Tm_intf
+
+exception Pmem_exhausted
+
+type recovery_report = {
+  durable : int;
+  replayed_txs : int;
+  discarded_txs : int;
+  discarded_records : int;
+}
+
+(* Payload flag bytes: plain vs LZ-compressed record bodies. *)
+let flag_plain = 'P'
+let flag_compressed = 'C'
+
+let pmalloc_cost = 120
+
+module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
+  type view = Flat of Mem.t | Paged of Shadow.t
+
+  (* A unit of Reproduce work: one whole combined record, or one
+     transaction of a plain record.  [lo..hi] is its contiguous global
+     transaction-ID range (lo = hi for plain items). *)
+  type item = {
+    lo : int;
+    hi : int;
+    entries : Log_entry.t list;
+    region : int;
+    end_off : int;
+    rec_next_seq : int;
+    last_of_record : bool;
+  }
+
+  type t = {
+    cfg : Config.t;
+    nvm : Nvm.t;
+    view : view;
+    tm : Tm.t;
+    tid_base : int;
+    vlogs : Vlog.t array;
+    plogs : Plog.t array;
+    ckpt : Checkpoint.t;
+    allocator : Alloc.t;  (* current, serves pmalloc *)
+    repro_alloc : Alloc.t;  (* allocator state as of [applied] *)
+    applied_cell : int ref;  (* = applied; shared with the shadow's gate *)
+    mutable durable : int;
+    flushed_set : (int, unit) Hashtbl.t;
+    mutable persisted_data : int;  (* data persisted for all tids <= this *)
+    mutable checkpointed : int;
+    queues : item Queue.t array;  (* per region, lo ascending *)
+    mutable pending_recycle : (int * int * int) list;  (* region, end_off, next_seq *)
+    mutable stop_flag : bool;
+    mutable draining : bool;
+    mutable started : bool;
+    stats : Stats.t;
+  }
+
+  type tx = {
+    t : t;
+    thread : int;
+    tm_tx : Tm.tx;
+    touched : (int, unit) Hashtbl.t;  (* pinned shadow pages *)
+    mutable touched_list : int list;
+    wrote : (int, unit) Hashtbl.t;  (* pages written (for touching IDs) *)
+    mutable wrote_list : int list;
+    mutable allocs : (int * int) list;  (* this attempt's pmallocs *)
+    mutable frees : (int * int) list;  (* deferred pfrees *)
+  }
+
+  let applied t = !(t.applied_cell)
+
+  let set_applied t v = t.applied_cell := v
+
+  let store_of_view = function
+    | Flat mem -> { Tm_intf.load = Mem.get_u64 mem; store = Mem.set_u64 mem }
+    | Paged sh -> { Tm_intf.load = Shadow.load_u64 sh; store = Shadow.store_u64 sh }
+
+  let make_view cfg nvm applied_cell =
+    match cfg.Config.shadow_frames with
+    | None ->
+      let mem = Mem.create cfg.Config.heap_size in
+      Mem.set_bytes mem 0 (Nvm.load_bytes nvm 0 cfg.Config.heap_size);
+      Flat mem
+    | Some frames ->
+      let scfg = Shadow.default_config cfg.Config.shadow_mode ~frames in
+      Paged (Shadow.create scfg ~nvm ~applied_id:(fun () -> !applied_cell))
+
+  let build cfg nvm ~tid_base ~plogs ~ckpt ~allocator ~repro_alloc =
+    let applied_cell = ref tid_base in
+    let view = make_view cfg nvm applied_cell in
+    let tm = Tm.create ~costs:cfg.Config.tm_costs ~seed:cfg.Config.seed (store_of_view view) in
+    {
+      cfg;
+      nvm;
+      view;
+      tm;
+      tid_base;
+      vlogs =
+        Array.init cfg.Config.nthreads (fun _ ->
+            Vlog.create
+              ~unbounded:(cfg.Config.mode = Config.Inf)
+              ~capacity:cfg.Config.vlog_capacity ());
+      plogs;
+      ckpt;
+      allocator;
+      repro_alloc;
+      applied_cell;
+      durable = tid_base;
+      flushed_set = Hashtbl.create 256;
+      persisted_data = tid_base;
+      checkpointed = tid_base;
+      queues = Array.init (Array.length plogs) (fun _ -> Queue.create ());
+      pending_recycle = [];
+      stop_flag = false;
+      draining = false;
+      started = false;
+      stats = Stats.create ();
+    }
+
+  let create cfg =
+    Config.validate cfg;
+    let nvm = Nvm.create cfg.Config.pmem ~size:(Config.nvm_size cfg) in
+    let regions = Config.plog_regions cfg in
+    let plogs =
+      Array.init regions (fun i ->
+          Plog.format nvm ~base:(Config.plog_base cfg i) ~size:cfg.Config.plog_size)
+    in
+    let allocator =
+      Alloc.create ~base:cfg.Config.root_size ~size:(cfg.Config.heap_size - cfg.Config.root_size)
+    in
+    let repro_alloc = Alloc.copy allocator in
+    let ckpt =
+      Checkpoint.format nvm ~base:(Config.meta_base cfg) ~size:cfg.Config.meta_size
+        { Checkpoint.reproduced_upto = 0; free_extents = Alloc.extents allocator }
+    in
+    build cfg nvm ~tid_base:0 ~plogs ~ckpt ~allocator ~repro_alloc
+
+  (* ------------------------------------------------------------------ *)
+  (* Durable-ID bookkeeping                                              *)
+  (* ------------------------------------------------------------------ *)
+
+  let note_flushed t tids =
+    List.iter (fun tid -> Hashtbl.replace t.flushed_set tid ()) tids;
+    while Hashtbl.mem t.flushed_set (t.durable + 1) do
+      Hashtbl.remove t.flushed_set (t.durable + 1);
+      t.durable <- t.durable + 1
+    done
+
+  let durable_id t = t.durable
+
+  let applied_id = applied
+
+  let last_tid t = t.tid_base + Tm.last_tid t.tm
+
+  let wait_durable t tid =
+    Sched.wait_until ~label:"durable id" (fun () -> t.durable >= tid)
+
+  (* ------------------------------------------------------------------ *)
+  (* Persist step                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Split a committed entry run into (tid, entries-including-end-mark)
+     groups. *)
+  let split_txs entries =
+    let rec go cur acc = function
+      | [] ->
+        assert (cur = []);
+        List.rev acc
+      | (Log_entry.Tx_end { tid } as e) :: rest ->
+        go [] ((tid, List.rev (e :: cur)) :: acc) rest
+      | e :: rest -> go (e :: cur) acc rest
+    in
+    go [] [] entries
+
+  let queue_items t region entries (record : Plog.record) =
+    let groups = split_txs entries in
+    let n = List.length groups in
+    List.iteri
+      (fun idx (tid, es) ->
+        Queue.push
+          {
+            lo = tid;
+            hi = tid;
+            entries = es;
+            region;
+            end_off = record.Plog.end_off;
+            rec_next_seq = record.Plog.seq + 1;
+            last_of_record = idx = n - 1;
+          }
+          t.queues.(region))
+      groups
+
+  let max_flush_entries = 4096
+
+  (* Flush the longest prefix of whole transactions from thread [i]'s
+     volatile log that fits the entry cap and the persistent ring's free
+     space.  Returns true if a record was written. *)
+  let flush_thread t i ~wait_space =
+    let vlog = t.vlogs.(i) in
+    let plog = t.plogs.(i) in
+    let hd = Vlog.head vlog in
+    let cm = Vlog.committed vlog in
+    if cm <= hd then false
+    else begin
+      let budget () = Plog.free_space plog - Plog.record_overhead - 1 in
+      (* Find the cut: last tx boundary within the entry cap and byte
+         budget, but always at least one whole transaction. *)
+      let find_cut bytes_avail =
+        let pos = ref hd and cut = ref hd and size = ref 0 and n = ref 0 in
+        let first_tx_done = ref false in
+        (try
+           while !pos < cm do
+             let e = Vlog.get vlog !pos in
+             let sz = Log_entry.encoded_size e in
+             if !first_tx_done && (!n >= max_flush_entries || !size + sz > bytes_avail) then
+               raise Exit;
+             size := !size + sz;
+             incr n;
+             incr pos;
+             (match e with
+             | Log_entry.Tx_end _ ->
+               if !size <= bytes_avail then begin
+                 cut := !pos;
+                 first_tx_done := true
+               end
+             | Log_entry.Write _ | Log_entry.Alloc _ | Log_entry.Free _ -> ())
+           done
+         with Exit -> ());
+        !cut
+      in
+      let first_tx_bytes () =
+        let pos = ref hd and size = ref 0 in
+        let continue = ref true in
+        while !continue && !pos < cm do
+          let e = Vlog.get vlog !pos in
+          size := !size + Log_entry.encoded_size e;
+          (match e with Log_entry.Tx_end _ -> continue := false | _ -> ());
+          incr pos
+        done;
+        !size
+      in
+      let need1 = first_tx_bytes () in
+      if need1 + Plog.record_overhead + 1 > Plog.data_capacity plog then
+        invalid_arg "Dudetm: a single transaction exceeds the persistent log ring";
+      if budget () < need1 then
+        if wait_space then
+          Sched.wait_until ~label:"plog space" (fun () -> budget () >= need1 || t.stop_flag)
+        else ();
+      if budget () < need1 then false
+      else begin
+        let cut = find_cut (budget ()) in
+        assert (cut > hd);
+        let entries = List.init (cut - hd) (fun k -> Vlog.get vlog (hd + k)) in
+        let tids = Log_entry.tids entries in
+        Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
+        let body = Log_entry.encode_list entries in
+        let payload = Bytes.cat (Bytes.make 1 flag_plain) body in
+        let record = Plog.append plog payload in
+        Stats.incr t.stats "flush_records";
+        Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+        queue_items t i entries record;
+        Vlog.consume_to vlog cut;
+        note_flushed t tids;
+        true
+      end
+    end
+
+  let persist_plain_loop t p =
+    let mine =
+      List.filter
+        (fun i -> i mod t.cfg.Config.persist_threads = p)
+        (List.init t.cfg.Config.nthreads (fun i -> i))
+    in
+    let has_data i = Vlog.committed t.vlogs.(i) > Vlog.head t.vlogs.(i) in
+    let rec loop () =
+      let did =
+        List.fold_left (fun acc i -> flush_thread t i ~wait_space:false || acc) false mine
+      in
+      if t.stop_flag && not (List.exists has_data mine) then ()
+      else begin
+        if not did then
+          Sched.wait_until ~label:"persist: waiting for logs" (fun () ->
+              t.stop_flag
+              || List.exists
+                   (fun i ->
+                     has_data i
+                     && Plog.free_space t.plogs.(i) > Plog.record_overhead + 64)
+                   mine);
+        Sched.yield ();
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Combined mode: one persist thread merges all volatile logs into
+     groups of [group_size] transactions in global ID order, combines and
+     optionally compresses each group, and writes it to ring 0. *)
+  let persist_combined_loop t =
+    let staging : (int, Log_entry.t list) Hashtbl.t = Hashtbl.create 1024 in
+    let next_flush = ref (t.tid_base + 1) in
+    let drain_vlogs () =
+      Array.iter
+        (fun vlog ->
+          let hd = Vlog.head vlog and cm = Vlog.committed vlog in
+          if cm > hd then begin
+            let entries = List.init (cm - hd) (fun k -> Vlog.get vlog (hd + k)) in
+            List.iter
+              (fun (tid, es) ->
+                (* strip the end mark; re-added when the group is built *)
+                let body = List.filter (function Log_entry.Tx_end _ -> false | _ -> true) es in
+                Hashtbl.replace staging tid body)
+              (split_txs entries);
+            Vlog.consume_to vlog cm
+          end)
+        t.vlogs
+    in
+    let contiguous () =
+      let n = ref 0 in
+      while Hashtbl.mem staging (!next_flush + !n) do
+        incr n
+      done;
+      !n
+    in
+    let flush_group take =
+      let lo = !next_flush in
+      let hi = lo + take - 1 in
+      let group =
+        List.concat_map
+          (fun tid ->
+            let es = Hashtbl.find staging tid in
+            es @ [ Log_entry.Tx_end { tid } ])
+          (List.init take (fun k -> lo + k))
+      in
+      let combined, cstats = Combine.combine group in
+      Stats.add t.stats "combine_writes_in" cstats.Combine.writes_in;
+      Stats.add t.stats "combine_writes_out" cstats.Combine.writes_out;
+      Sched.advance (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
+      let body = Log_entry.encode_list combined in
+      let payload =
+        if t.cfg.Config.compress then begin
+          Sched.advance
+            (int_of_float
+               (float_of_int (Bytes.length body) *. t.cfg.Config.compress_cost_per_byte));
+          let comp = Lz.compress body in
+          Stats.add t.stats "compress_in_bytes" (Bytes.length body);
+          Stats.add t.stats "compress_out_bytes" (Bytes.length comp);
+          if Bytes.length comp < Bytes.length body then
+            Bytes.cat (Bytes.make 1 flag_compressed) comp
+          else Bytes.cat (Bytes.make 1 flag_plain) body
+        end
+        else Bytes.cat (Bytes.make 1 flag_plain) body
+      in
+      let need = Plog.record_overhead + Bytes.length payload in
+      if need > Plog.data_capacity t.plogs.(0) then
+        invalid_arg "Dudetm: combined group exceeds the persistent log ring";
+      Sched.wait_until ~label:"plog space (combined)" (fun () ->
+          Plog.free_space t.plogs.(0) >= need);
+      let record = Plog.append t.plogs.(0) payload in
+      Stats.incr t.stats "flush_records";
+      Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+      Queue.push
+        {
+          lo;
+          hi;
+          entries = combined;
+          region = 0;
+          end_off = record.Plog.end_off;
+          rec_next_seq = record.Plog.seq + 1;
+          last_of_record = true;
+        }
+        t.queues.(0);
+      List.iter (fun k -> Hashtbl.remove staging (lo + k)) (List.init take (fun k -> k));
+      note_flushed t (List.init take (fun k -> lo + k));
+      next_flush := hi + 1
+    in
+    let rec loop () =
+      drain_vlogs ();
+      let avail = contiguous () in
+      if avail >= t.cfg.Config.group_size then begin
+        flush_group t.cfg.Config.group_size;
+        loop ()
+      end
+      else if (t.draining || t.stop_flag) && avail > 0 && last_tid t < !next_flush + avail
+      then begin
+        (* Tail of the run: no more transactions are coming; flush the
+           remainder as a short group. *)
+        flush_group avail;
+        loop ()
+      end
+      else if t.stop_flag && avail = 0 && Hashtbl.length staging = 0 then ()
+      else begin
+        Sched.wait_until ~label:"persist: waiting for group" (fun () ->
+            t.stop_flag || t.draining
+            || Array.exists (fun v -> Vlog.committed v > Vlog.head v) t.vlogs);
+        Sched.yield ();
+        loop ()
+      end
+    in
+    loop ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Reproduce step                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  let plog_pressure t =
+    Array.exists (fun p -> Plog.free_space p < Plog.data_capacity p / 4) t.plogs
+
+  let do_checkpoint t =
+    Checkpoint.write t.ckpt
+      {
+        Checkpoint.reproduced_upto = t.persisted_data;
+        free_extents = Alloc.extents t.repro_alloc;
+      };
+    (* Recycle each ring up to its furthest completed record. *)
+    let per_region = Hashtbl.create 8 in
+    List.iter
+      (fun (region, end_off, seq) ->
+        match Hashtbl.find_opt per_region region with
+        | Some (e, _) when e >= end_off -> ()
+        | _ -> Hashtbl.replace per_region region (end_off, seq))
+      t.pending_recycle;
+    Hashtbl.iter
+      (fun region (end_off, next_seq) ->
+        Plog.recycle_to t.plogs.(region) ~end_off ~next_seq)
+      per_region;
+    t.pending_recycle <- [];
+    t.checkpointed <- t.persisted_data
+
+  let pop_next_item t =
+    let target = applied t + 1 in
+    let found = ref None in
+    Array.iter
+      (fun q ->
+        match Queue.peek_opt q with
+        | Some it when it.lo = target -> found := Some (q, it)
+        | _ -> ())
+      t.queues;
+    match !found with
+    | Some (q, it) ->
+      ignore (Queue.pop q);
+      it
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Dudetm reproduce: transaction %d durable but not queued" target)
+
+  (* Apply one item's stores and allocator replay atomically, then publish
+     the applied watermark.  Persisting is the caller's job: a reproduce
+     round applies a whole batch of items under a single persist ordering,
+     which is what keeps one background thread ahead of many Perform
+     threads. *)
+  let apply_item t it ranges =
+    let n = List.length it.entries in
+    Sched.advance (t.cfg.Config.reproduce_cost_per_entry * n);
+    List.iter
+      (fun e ->
+        match e with
+        | Log_entry.Write { addr; value } ->
+          Nvm.store_u64 t.nvm addr value;
+          ranges := (addr, 8) :: !ranges
+        | Log_entry.Alloc { off; len } -> Alloc.reserve t.repro_alloc ~off ~len
+        | Log_entry.Free { off; len } -> Alloc.free t.repro_alloc ~off ~len
+        | Log_entry.Tx_end _ -> ())
+      it.entries;
+    set_applied t it.hi;
+    if it.last_of_record then
+      t.pending_recycle <- (it.region, it.end_off, it.rec_next_seq) :: t.pending_recycle
+
+  let reproduce_round t =
+    let ranges = ref [] in
+    let applied_any = ref false in
+    let batch = ref 0 in
+    while t.durable > applied t && !batch < t.cfg.Config.reproduce_batch do
+      apply_item t (pop_next_item t) ranges;
+      applied_any := true;
+      incr batch
+    done;
+    if !applied_any then begin
+      (* One persist ordering covers the whole round's reproduced data. *)
+      Nvm.persist_ranges t.nvm !ranges;
+      t.persisted_data <- applied t
+    end;
+    !applied_any
+
+  let reproduce_loop t =
+    let rec loop () =
+      if t.durable > applied t then begin
+        ignore (reproduce_round t);
+        if
+          List.length t.pending_recycle >= t.cfg.Config.checkpoint_records
+          || (t.pending_recycle <> [] && plog_pressure t)
+        then do_checkpoint t;
+        loop ()
+      end
+      else if t.stop_flag && t.durable = applied t then begin
+        if t.pending_recycle <> [] || t.checkpointed < t.persisted_data then do_checkpoint t
+      end
+      else begin
+        Sched.wait_until ~label:"reproduce: waiting for durable" (fun () ->
+            t.stop_flag
+            || t.durable > applied t
+            || (t.pending_recycle <> [] && plog_pressure t));
+        if t.durable = applied t && t.pending_recycle <> [] && plog_pressure t then
+          do_checkpoint t;
+        Sched.yield ();
+        loop ()
+      end
+    in
+    loop ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Lifecycle                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  let start t =
+    if t.started then invalid_arg "Dudetm.start: already started";
+    t.started <- true;
+    (match t.cfg.Config.mode with
+    | Config.Sync -> ()
+    | Config.Async | Config.Inf ->
+      if t.cfg.Config.combine then
+        ignore (Sched.spawn ~daemon:true "persist-0" (fun () -> persist_combined_loop t))
+      else
+        for p = 0 to t.cfg.Config.persist_threads - 1 do
+          ignore
+            (Sched.spawn ~daemon:true
+               (Printf.sprintf "persist-%d" p)
+               (fun () -> persist_plain_loop t p))
+        done);
+    ignore (Sched.spawn ~daemon:true "reproduce" (fun () -> reproduce_loop t))
+
+  let drain t =
+    t.draining <- true;
+    Sched.wait_until ~label:"drain" (fun () ->
+        let last = last_tid t in
+        t.durable = last && applied t = last)
+
+  let stop t =
+    drain t;
+    t.stop_flag <- true
+
+  (* ------------------------------------------------------------------ *)
+  (* Perform step: the transaction API                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let page_addr sh page = page lsl (Shadow.config sh).Shadow.page_bits
+
+  let unpin_all dtx =
+    (match dtx.t.view with
+    | Flat _ -> ()
+    | Paged sh -> List.iter (fun page -> Shadow.unpin sh (page_addr sh page)) dtx.touched_list);
+    Hashtbl.reset dtx.touched;
+    dtx.touched_list <- [];
+    Hashtbl.reset dtx.wrote;
+    dtx.wrote_list <- []
+
+  let touch dtx addr ~wrote =
+    match dtx.t.view with
+    | Flat _ -> ()
+    | Paged sh ->
+      let page = Shadow.page_of sh addr in
+      if not (Hashtbl.mem dtx.touched page) then begin
+        Hashtbl.add dtx.touched page ();
+        dtx.touched_list <- page :: dtx.touched_list;
+        Shadow.pin sh addr
+      end;
+      if wrote && not (Hashtbl.mem dtx.wrote page) then begin
+        Hashtbl.add dtx.wrote page ();
+        dtx.wrote_list <- page :: dtx.wrote_list
+      end
+
+  let read dtx addr =
+    touch dtx addr ~wrote:false;
+    Tm.read dtx.tm_tx addr
+
+  let write dtx addr value =
+    touch dtx addr ~wrote:true;
+    Sched.advance dtx.t.cfg.Config.log_append_cost;
+    Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Write { addr; value });
+    Stats.incr dtx.t.stats "log_entries";
+    Tm.write dtx.tm_tx addr value
+
+  let abort dtx = Tm.user_abort dtx.tm_tx
+
+  let pmalloc dtx n =
+    if n <= 0 then invalid_arg "Dudetm.pmalloc: non-positive size";
+    Sched.advance pmalloc_cost;
+    match Alloc.alloc dtx.t.allocator n with
+    | None -> raise Pmem_exhausted
+    | Some off ->
+      dtx.allocs <- (off, n) :: dtx.allocs;
+      Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Alloc { off; len = n });
+      (* Zero the first word transactionally: initializes the block and
+         guarantees the transaction is a write transaction, so the Alloc
+         entry is always sealed under a real transaction ID. *)
+      write dtx off 0L;
+      off
+
+  let pfree dtx ~off ~len =
+    if len <= 0 then invalid_arg "Dudetm.pfree: non-positive size";
+    write dtx off 0L;
+    Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Free { off; len });
+    dtx.frees <- (off, len) :: dtx.frees
+
+  let atomically t ~thread f =
+    if thread < 0 || thread >= t.cfg.Config.nthreads then
+      invalid_arg "Dudetm.atomically: bad thread index";
+    let vlog = t.vlogs.(thread) in
+    let attempt : tx option ref = ref None in
+    let cleanup () =
+      (match !attempt with
+      | Some dtx ->
+        Vlog.pop_current_tx vlog;
+        List.iter (fun (off, len) -> Alloc.free t.allocator ~off ~len) dtx.allocs;
+        unpin_all dtx
+      | None -> ());
+      attempt := None
+    in
+    let outcome =
+      Tm.run ~on_retry:cleanup t.tm (fun tm_tx ->
+          let dtx =
+            {
+              t;
+              thread;
+              tm_tx;
+              touched = Hashtbl.create 8;
+              touched_list = [];
+              wrote = Hashtbl.create 8;
+              wrote_list = [];
+              allocs = [];
+              frees = [];
+            }
+          in
+          attempt := Some dtx;
+          f dtx)
+    in
+    match outcome with
+    | None -> None
+    | Some (value, raw_tid) ->
+      let dtx = match !attempt with Some d -> d | None -> assert false in
+      attempt := None;
+      Stats.incr t.stats "txs";
+      if raw_tid = 0 then begin
+        assert (Vlog.current_tx_entries vlog = 0);
+        unpin_all dtx;
+        Some (value, 0)
+      end
+      else begin
+        let tid = t.tid_base + raw_tid in
+        List.iter (fun (off, len) -> Alloc.free t.allocator ~off ~len) dtx.frees;
+        Vlog.append_end vlog ~tid;
+        (match t.view with
+        | Flat _ -> ()
+        | Paged sh ->
+          List.iter (fun page -> Shadow.set_touching sh ~page ~tid) dtx.wrote_list);
+        unpin_all dtx;
+        (match t.cfg.Config.mode with
+        | Config.Sync ->
+          ignore (flush_thread t thread ~wait_space:true);
+          wait_durable t tid
+        | Config.Async | Config.Inf -> ());
+        Some (value, tid)
+      end
+
+  (* ------------------------------------------------------------------ *)
+  (* Recovery                                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  let decode_payload payload =
+    if Bytes.length payload < 1 then invalid_arg "Dudetm: empty record payload";
+    let body = Bytes.sub payload 1 (Bytes.length payload - 1) in
+    match Bytes.get payload 0 with
+    | c when c = flag_plain -> Log_entry.decode_list body
+    | c when c = flag_compressed -> Log_entry.decode_list (Lz.decompress body)
+    | c -> invalid_arg (Printf.sprintf "Dudetm: bad payload flag %C" c)
+
+  let attach cfg nvm =
+    Config.validate cfg;
+    if Nvm.size nvm <> Config.nvm_size cfg then
+      invalid_arg "Dudetm.attach: device size does not match the configuration";
+    let ckpt, state = Checkpoint.attach nvm ~base:(Config.meta_base cfg) ~size:cfg.Config.meta_size in
+    let c = state.Checkpoint.reproduced_upto in
+    let repro_alloc = Alloc.restore state.Checkpoint.free_extents in
+    let regions = Config.plog_regions cfg in
+    let attached =
+      Array.init regions (fun r ->
+          Plog.attach nvm ~base:(Config.plog_base cfg r) ~size:cfg.Config.plog_size)
+    in
+    let plogs = Array.map fst attached in
+    (* Collect replay items from every surviving record. *)
+    let all_items = ref [] in
+    let all_tids = Hashtbl.create 1024 in
+    Array.iter
+      (fun (_, records) ->
+        List.iter
+        (fun (record : Plog.record) ->
+          let entries = decode_payload record.Plog.payload in
+          let tids = Log_entry.tids entries in
+          List.iter (fun tid -> Hashtbl.replace all_tids tid ()) tids;
+          if cfg.Config.combine then begin
+            match tids with
+            | [] -> ()
+            | first :: _ ->
+              let hi = List.fold_left max first tids in
+              all_items := (first, hi, entries) :: !all_items
+          end
+          else
+            List.iter
+              (fun (tid, es) -> all_items := (tid, tid, es) :: !all_items)
+              (split_txs entries))
+        records)
+      attached;
+    (* Durable ID: largest contiguous extension of the checkpoint. *)
+    let d = ref c in
+    while Hashtbl.mem all_tids (!d + 1) do
+      incr d
+    done;
+    let d = !d in
+    let keep, dropped =
+      List.partition (fun (lo, hi, _) -> lo > c && hi <= d) (List.sort compare !all_items)
+    in
+    let discarded_txs =
+      Hashtbl.fold (fun tid () acc -> if tid > d then acc + 1 else acc) all_tids 0
+    in
+    let discarded_records =
+      List.length (List.filter (fun (lo, _, _) -> lo > d) dropped)
+    in
+    (* Replay in transaction-ID order. *)
+    let ranges = ref [] in
+    List.iter
+      (fun (_, _, entries) ->
+        List.iter
+          (fun e ->
+            match e with
+            | Log_entry.Write { addr; value } ->
+              Nvm.store_u64 nvm addr value;
+              ranges := (addr, 8) :: !ranges
+            | Log_entry.Alloc { off; len } -> Alloc.reserve repro_alloc ~off ~len
+            | Log_entry.Free { off; len } -> Alloc.free repro_alloc ~off ~len
+            | Log_entry.Tx_end _ -> ())
+          entries)
+      keep;
+    Nvm.persist_ranges nvm !ranges;
+    Checkpoint.write ckpt
+      { Checkpoint.reproduced_upto = d; free_extents = Alloc.extents repro_alloc };
+    Array.iter
+      (fun plog -> Plog.recycle_to plog ~end_off:(Plog.tail_off plog) ~next_seq:(Plog.next_seq plog))
+      plogs;
+    let replayed_txs =
+      List.fold_left (fun acc (lo, hi, _) -> acc + (hi - lo + 1)) 0 keep
+    in
+    let t =
+      build cfg nvm ~tid_base:d ~plogs ~ckpt ~allocator:(Alloc.copy repro_alloc) ~repro_alloc
+    in
+    t.persisted_data <- d;
+    t.checkpointed <- d;
+    (t, { durable = d; replayed_txs; discarded_txs; discarded_records })
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection                                                       *)
+  (* ------------------------------------------------------------------ *)
+
+  let config t = t.cfg
+
+  let nvm t = t.nvm
+
+  let root_base _ = 0
+
+  let heap_read_u64 t addr =
+    match t.view with Flat mem -> Mem.get_u64 mem addr | Paged sh -> Shadow.load_u64 sh addr
+
+  let stats t = t.stats
+
+  let tm t = t.tm
+
+  let shadow_stats t =
+    match t.view with Flat _ -> None | Paged sh -> Some (Shadow.stats sh)
+
+  let vlog_producer_blocks t =
+    Array.fold_left (fun acc v -> acc + Vlog.producer_blocks v) 0 t.vlogs
+end

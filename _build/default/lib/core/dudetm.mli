@@ -1,0 +1,138 @@
+(** The decoupled durable-transaction engine (Sections 3–4).
+
+    A functor over an out-of-the-box TM.  A durable transaction's life:
+
+    - {b Perform}: the application thread runs the transaction with the TM
+      against volatile data (a flat DRAM mirror of the heap, or a paged
+      {!Dudetm_shadow.Shadow} when the shadow is smaller than NVM).  Every
+      [write] also appends a redo entry to the thread's volatile log;
+      commit appends the end mark carrying the TM-issued transaction ID.
+    - {b Persist}: background threads drain volatile logs into checksummed
+      records in persistent log rings (one persist ordering per record) and
+      advance the global durable ID — the largest D such that every
+      transaction with ID ≤ D is persistent.  Optionally they combine
+      writes across groups of transactions and LZ-compress the groups.
+    - {b Reproduce}: a background thread replays persisted records onto the
+      home NVM locations in transaction-ID order, persists the reproduced
+      data, checkpoints the allocator + watermark, and recycles records.
+
+    Dirty volatile data is never written to NVM home locations directly;
+    the redo log is the only channel, so CPU-cache evictions of shadow data
+    can never break crash consistency. *)
+
+exception Pmem_exhausted
+(** [pmalloc] found no free extent large enough. *)
+
+type recovery_report = {
+  durable : int;  (** recovered durable ID: state equals this prefix *)
+  replayed_txs : int;  (** durable transactions replayed from logs *)
+  discarded_txs : int;  (** flushed but non-durable transactions dropped:
+                            their logs landed beyond a gap left by a log
+                            that never made it, so they were never
+                            acknowledged and are abandoned (Section 3.5) *)
+  discarded_records : int;  (** log records abandoned for that reason; torn
+                                records are additionally rejected by their
+                                checksums during the scan *)
+}
+
+module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
+  type t
+
+  type tx
+
+  (** {1 Lifecycle} *)
+
+  val create : Config.t -> t
+  (** Build a fresh instance: allocates and formats a simulated NVM device
+      per the config's layout. *)
+
+  val attach : Config.t -> Dudetm_nvm.Nvm.t -> t * recovery_report
+  (** Recover from a crashed device: scan the log rings, recompute the
+      durable ID, replay durable transactions past the checkpoint, discard
+      torn tails, rebuild the allocator, and return a fresh instance whose
+      transaction IDs continue after the recovered prefix. *)
+
+  val start : t -> unit
+  (** Spawn the Persist and Reproduce daemon threads.  Must run inside
+      {!Dudetm_sim.Sched.run}; call once before the first transaction. *)
+
+  val drain : t -> unit
+  (** Block until every committed transaction is durable and reproduced.
+      Call only after all application threads have stopped issuing
+      transactions: the wait covers transactions committed so far, not
+      ones that have yet to begin. *)
+
+  val stop : t -> unit
+  (** Ask daemons to exit once drained (they are daemons, so this is only
+      needed when an experiment wants their final counters flushed). *)
+
+  (** {1 Transactions (the paper's five-call API)} *)
+
+  val atomically : t -> thread:int -> (tx -> 'a) -> ('a * int) option
+  (** [atomically t ~thread f] is [dtmBegin]; [f] runs transactionally with
+      automatic conflict retry.  Returns [Some (result, tid)] after commit
+      ([tid = 0] for read-only transactions) or [None] if [f] aborted via
+      {!abort}.  [thread] indexes the calling Perform thread's log buffer
+      (0 to [nthreads-1]); each simulated thread must use its own index. *)
+
+  val read : tx -> int -> int64
+  (** [dtmRead]. *)
+
+  val write : tx -> int -> int64 -> unit
+  (** [dtmWrite]: append to the redo log, then TM-write. *)
+
+  val abort : tx -> 'a
+  (** [dtmAbort]: roll back, discard this attempt's log entries, and make
+      {!atomically} return [None]. *)
+
+  (** {1 Persistent allocation (Section 3.5)} *)
+
+  val pmalloc : tx -> int -> int
+  (** Allocate from the persistent heap inside a transaction; logged, and
+      refunded automatically if the transaction aborts.  The first word is
+      transactionally zeroed (which also makes the transaction a write
+      transaction).  Raises {!Pmem_exhausted}. *)
+
+  val pfree : tx -> off:int -> len:int -> unit
+  (** Free a block; takes effect at commit, logged for recovery. *)
+
+  (** {1 Durability protocol} *)
+
+  val durable_id : t -> int
+  (** Largest D with every write transaction ID ≤ D persistent. *)
+
+  val applied_id : t -> int
+  (** Largest ID whose updates Reproduce has applied to NVM (volatile
+      watermark; gates shadow-page swap-in). *)
+
+  val last_tid : t -> int
+  (** Most recently committed write-transaction ID. *)
+
+  val wait_durable : t -> int -> unit
+  (** Block until [durable_id t >= tid]. *)
+
+  (** {1 Introspection} *)
+
+  val config : t -> Config.t
+
+  val nvm : t -> Dudetm_nvm.Nvm.t
+
+  val root_base : t -> int
+  (** Address of the reserved root block (heap offset 0). *)
+
+  val heap_read_u64 : t -> int -> int64
+  (** Non-transactional read of the volatile heap view (for debugging and
+      test assertions outside transactions). *)
+
+  val stats : t -> Dudetm_sim.Stats.t
+  (** ["txs"], ["log_entries"], ["flush_records"], ["flush_payload_bytes"],
+      ["combine_writes_in"], ["combine_writes_out"],
+      ["compress_in_bytes"], ["compress_out_bytes"]. *)
+
+  val tm : t -> Tm.t
+
+  val shadow_stats : t -> Dudetm_sim.Stats.t option
+  (** Paging counters when running with a paged shadow. *)
+
+  val vlog_producer_blocks : t -> int
+end

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_shadow Dudetm_sim Dudetm_workloads

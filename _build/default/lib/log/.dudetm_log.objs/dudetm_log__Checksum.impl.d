@@ -1,0 +1,1 @@
+lib/log/checksum.ml: Array Bytes Char Int32 Lazy

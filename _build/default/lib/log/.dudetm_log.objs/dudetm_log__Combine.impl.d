@@ -1,0 +1,1 @@
+lib/log/combine.ml: Hashtbl List Log_entry

@@ -1,0 +1,1 @@
+lib/log/combine.mli: Log_entry

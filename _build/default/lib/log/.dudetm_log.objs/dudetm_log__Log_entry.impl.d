@@ -1,0 +1,1 @@
+lib/log/log_entry.ml: Bytes Format Int64 List Printf

@@ -1,0 +1,1 @@
+lib/log/log_entry.mli: Format

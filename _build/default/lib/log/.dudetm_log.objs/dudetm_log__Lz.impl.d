@@ -1,0 +1,1 @@
+lib/log/lz.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/log/lz.mli:

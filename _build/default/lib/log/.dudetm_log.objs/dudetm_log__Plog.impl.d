@@ -1,0 +1,1 @@
+lib/log/plog.ml: Bytes Checksum Dudetm_nvm Int64 List

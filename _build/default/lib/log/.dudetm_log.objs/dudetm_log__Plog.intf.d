@@ -1,0 +1,1 @@
+lib/log/plog.mli: Dudetm_nvm

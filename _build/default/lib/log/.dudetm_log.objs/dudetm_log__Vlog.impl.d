@@ -1,0 +1,1 @@
+lib/log/vlog.ml: Array Dudetm_sim Log_entry

@@ -1,0 +1,1 @@
+lib/log/vlog.mli: Log_entry

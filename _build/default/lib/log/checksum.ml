@@ -1,0 +1,26 @@
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         c :=
+           if Int32.logand !c 1l <> 0l then
+             Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32 ?(init = 0l) b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Checksum.crc32";
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot init) in
+  for i = off to off + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xffl) in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let crc32_bytes b = crc32 b 0 (Bytes.length b)

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+    Used to seal persistent-log records: a record is written together with
+    its checksum in a single persist ordering, and recovery treats a
+    checksum mismatch as a torn (incomplete) record. *)
+
+val crc32 : ?init:int32 -> bytes -> int -> int -> int32
+(** [crc32 b off len] checksums [len] bytes of [b] starting at [off].
+    [init] chains checksums across fragments (default the CRC of the empty
+    string, [0l]). *)
+
+val crc32_bytes : bytes -> int32
+(** Whole-buffer convenience. *)

@@ -1,0 +1,44 @@
+type stats = {
+  writes_in : int;
+  writes_out : int;
+  entries_in : int;
+  entries_out : int;
+}
+
+let saved_fraction s =
+  if s.writes_in = 0 then 0.0
+  else 1.0 -. (float_of_int s.writes_out /. float_of_int s.writes_in)
+
+let combine group =
+  let last_value : (int, int64) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let allocs = ref [] in
+  let ends = ref [] in
+  let writes_in = ref 0 in
+  let entries_in = ref 0 in
+  List.iter
+    (fun e ->
+      incr entries_in;
+      match e with
+      | Log_entry.Write { addr; value } ->
+        incr writes_in;
+        if not (Hashtbl.mem last_value addr) then order := addr :: !order;
+        Hashtbl.replace last_value addr value
+      | Log_entry.Alloc _ | Log_entry.Free _ -> allocs := e :: !allocs
+      | Log_entry.Tx_end _ -> ends := e :: !ends)
+    group;
+  let writes =
+    List.rev_map
+      (fun addr -> Log_entry.Write { addr; value = Hashtbl.find last_value addr })
+      !order
+  in
+  let combined = writes @ List.rev !allocs @ List.rev !ends in
+  let stats =
+    {
+      writes_in = !writes_in;
+      writes_out = List.length writes;
+      entries_in = !entries_in;
+      entries_out = List.length combined;
+    }
+  in
+  (combined, stats)

@@ -1,0 +1,27 @@
+(** Cross-transaction write combination (Section 3.3, Figure 3).
+
+    Within a group of consecutive committed transactions that is flushed
+    atomically, only the last write to each address must reach the
+    persistent log: earlier writes are superseded.  The Persist thread
+    inserts group entries into a hash table in transaction order, letting
+    later entries overwrite earlier ones — exactly the paper's algorithm.
+
+    Allocation events and end marks are preserved: recovery needs every
+    transaction ID and every pmalloc/pfree of the group. *)
+
+type stats = {
+  writes_in : int;
+  writes_out : int;
+  entries_in : int;
+  entries_out : int;
+}
+
+val saved_fraction : stats -> float
+(** Fraction of write entries eliminated, [1 - out/in] (0 if no writes). *)
+
+val combine : Log_entry.t list -> Log_entry.t list * stats
+(** [combine group] returns the combined entry list — deduplicated writes
+    (first-occurrence address order, each carrying its final value),
+    allocation events in original order, then all end marks — plus
+    statistics.  Replaying the result atomically is state-equivalent to
+    replaying [group]. *)

@@ -1,0 +1,34 @@
+(** Redo-log entries.
+
+    A committed transaction's redo log is the sequence of its [Write]
+    entries (address and new value, Algorithm 2's [vlog.AppendEntry])
+    followed by a [Tx_end] mark carrying the transaction ID.  Persistent
+    allocation events travel in the same stream (Section 3.5's per-thread
+    pmalloc/pfree log) so that recovery rebuilds the allocator from exactly
+    the durable transactions. *)
+
+type t =
+  | Write of { addr : int; value : int64 }
+  | Alloc of { off : int; len : int }
+  | Free of { off : int; len : int }
+  | Tx_end of { tid : int }
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val encoded_size : t -> int
+(** Size of the binary encoding in bytes (tag byte + fields). *)
+
+val write_size : int
+(** [encoded_size] of a [Write] — the dominant term in NVM log traffic. *)
+
+val encode_list : t list -> bytes
+(** Serialize entries back-to-back (the persistent-log record payload). *)
+
+val decode_list : bytes -> t list
+(** Inverse of {!encode_list}.  Raises [Invalid_argument] on malformed
+    input (recovery only calls it on checksummed payloads). *)
+
+val tids : t list -> int list
+(** Transaction IDs of all [Tx_end] marks, in order of appearance. *)

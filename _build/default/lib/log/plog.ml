@@ -1,0 +1,143 @@
+module Nvm = Dudetm_nvm.Nvm
+
+type t = {
+  nvm : Nvm.t;
+  base : int;
+  dcap : int;  (* data-area capacity in bytes *)
+  mutable head : int;  (* monotone byte offsets into the data area *)
+  mutable tail : int;
+  mutable head_seq : int;  (* seq of the record at [head] *)
+  mutable seq : int;  (* seq of the next record to append *)
+}
+
+type record = { seq : int; payload : bytes; end_off : int }
+
+let header_size = 64
+
+let record_overhead = 24  (* len u64, seq u64, crc u64 *)
+
+let magic = 0x44554445504C4F47L  (* "DUDEPLOG" *)
+
+let data_base t = t.base + header_size
+
+(* Wrapped access: a record may straddle the end of the data area. *)
+let write_wrapped t off b =
+  let len = Bytes.length b in
+  let s = off mod t.dcap in
+  if s + len <= t.dcap then Nvm.store_bytes t.nvm (data_base t + s) b
+  else begin
+    let first = t.dcap - s in
+    Nvm.store_bytes t.nvm (data_base t + s) (Bytes.sub b 0 first);
+    Nvm.store_bytes t.nvm (data_base t) (Bytes.sub b first (len - first))
+  end
+
+let read_wrapped t off len =
+  let s = off mod t.dcap in
+  if s + len <= t.dcap then Nvm.load_bytes t.nvm (data_base t + s) len
+  else begin
+    let first = t.dcap - s in
+    let b = Bytes.create len in
+    Bytes.blit (Nvm.load_bytes t.nvm (data_base t + s) first) 0 b 0 first;
+    Bytes.blit (Nvm.load_bytes t.nvm (data_base t) (len - first)) 0 b first (len - first);
+    b
+  end
+
+let persist_wrapped t off len =
+  let s = off mod t.dcap in
+  if s + len <= t.dcap then Nvm.persist t.nvm ~off:(data_base t + s) ~len
+  else begin
+    let first = t.dcap - s in
+    Nvm.persist t.nvm ~off:(data_base t + s) ~len:first;
+    Nvm.persist t.nvm ~off:(data_base t) ~len:(len - first)
+  end
+
+let persist_header t =
+  let b = Bytes.create 24 in
+  Bytes.set_int64_le b 0 magic;
+  Bytes.set_int64_le b 8 (Int64.of_int t.head);
+  Bytes.set_int64_le b 16 (Int64.of_int t.head_seq);
+  Nvm.store_bytes t.nvm t.base b;
+  Nvm.persist t.nvm ~off:t.base ~len:24
+
+let format nvm ~base ~size =
+  if size <= header_size + record_overhead then invalid_arg "Plog.format: region too small";
+  let t = { nvm; base; dcap = size - header_size; head = 0; tail = 0; head_seq = 0; seq = 0 } in
+  persist_header t;
+  t
+
+let frame_crc ~len ~seq payload =
+  let hdr = Bytes.create 16 in
+  Bytes.set_int64_le hdr 0 (Int64.of_int len);
+  Bytes.set_int64_le hdr 8 (Int64.of_int seq);
+  let c = Checksum.crc32_bytes hdr in
+  Checksum.crc32 ~init:c payload 0 (Bytes.length payload)
+
+let attach nvm ~base ~size =
+  if size <= header_size + record_overhead then invalid_arg "Plog.attach: region too small";
+  let dcap = size - header_size in
+  if Nvm.load_u64 nvm base <> magic then invalid_arg "Plog.attach: bad magic";
+  let head = Int64.to_int (Nvm.load_u64 nvm (base + 8)) in
+  let head_seq = Int64.to_int (Nvm.load_u64 nvm (base + 16)) in
+  let t = { nvm; base; dcap; head; tail = head; head_seq; seq = head_seq } in
+  let records = ref [] in
+  let continue = ref true in
+  while !continue do
+    let scanned = t.tail - t.head in
+    if scanned + record_overhead > t.dcap then continue := false
+    else begin
+      let frame = read_wrapped t t.tail record_overhead in
+      let len = Int64.to_int (Bytes.get_int64_le frame 0) in
+      let seq = Int64.to_int (Bytes.get_int64_le frame 8) in
+      let crc = Int64.to_int32 (Bytes.get_int64_le frame 16) in
+      if len < 0 || scanned + record_overhead + len > t.dcap || seq <> t.seq then
+        continue := false
+      else begin
+        let payload = read_wrapped t (t.tail + record_overhead) len in
+        if frame_crc ~len ~seq payload <> crc then continue := false
+        else begin
+          let end_off = t.tail + record_overhead + len in
+          records := { seq; payload; end_off } :: !records;
+          t.tail <- end_off;
+          t.seq <- seq + 1
+        end
+      end
+    end
+  done;
+  (t, List.rev !records)
+
+let data_capacity t = t.dcap
+
+let used_space t = t.tail - t.head
+
+let free_space t = t.dcap - used_space t
+
+let append t payload =
+  let len = Bytes.length payload in
+  let total = record_overhead + len in
+  if total > free_space t then invalid_arg "Plog.append: no space";
+  let crc = frame_crc ~len ~seq:t.seq payload in
+  let frame = Bytes.create total in
+  Bytes.set_int64_le frame 0 (Int64.of_int len);
+  Bytes.set_int64_le frame 8 (Int64.of_int t.seq);
+  Bytes.set_int64_le frame 16 (Int64.of_int32 crc);
+  Bytes.blit payload 0 frame record_overhead len;
+  write_wrapped t t.tail frame;
+  (* The CRC seals the record: one persist ordering makes the whole group
+     of transactions durable, torn writes fail validation on recovery. *)
+  persist_wrapped t t.tail total;
+  let r = { seq = t.seq; payload; end_off = t.tail + total } in
+  t.tail <- t.tail + total;
+  t.seq <- t.seq + 1;
+  r
+
+let recycle_to t ~end_off ~next_seq =
+  if end_off < t.head || end_off > t.tail then invalid_arg "Plog.recycle_to: bad offset";
+  t.head <- end_off;
+  t.head_seq <- next_seq;
+  persist_header t
+
+let head_off t = t.head
+
+let tail_off t = t.tail
+
+let next_seq (t : t) = t.seq

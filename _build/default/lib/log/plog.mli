@@ -1,0 +1,58 @@
+(** Persistent per-thread redo-log region.
+
+    A ring of checksummed records inside the simulated NVM.  A record is a
+    group of serialized redo-log entries (one or more transactions) sealed
+    by a CRC, so a whole record becomes durable with a {e single} persist
+    ordering — the decoupled design's "one persist order per transaction"
+    (Sections 3.3, 3.5).  A torn record fails its CRC and recovery discards
+    it together with everything after it in this ring.
+
+    Only the head (recycle) cursor is persistent; the tail is rediscovered
+    after a crash by scanning records, validated by a per-record sequence
+    number so stale data from previous laps can never be mistaken for live
+    records. *)
+
+type t
+
+type record = {
+  seq : int;  (** per-ring record number, contiguous *)
+  payload : bytes;  (** serialized {!Log_entry} list *)
+  end_off : int;  (** monotone offset one past this record (for recycling) *)
+}
+
+val header_size : int
+(** Bytes reserved at the base of the region for the persistent header. *)
+
+val record_overhead : int
+(** Bytes of framing per record on top of the payload. *)
+
+val format : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t
+(** Initialize an empty ring over [\[base, base+size)] of the device and
+    persist its header. *)
+
+val attach : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t * record list
+(** Re-open a ring after a crash: reads the persistent head cursor, scans
+    and validates records, repositions the tail after the last valid
+    record, and returns the surviving records in order. *)
+
+val data_capacity : t -> int
+
+val free_space : t -> int
+
+val used_space : t -> int
+
+val append : t -> bytes -> record
+(** Write one record and persist it (single persist ordering).  The caller
+    must check {!free_space} ([record_overhead + length]) first; appending
+    without space raises [Invalid_argument]. *)
+
+val recycle_to : t -> end_off:int -> next_seq:int -> unit
+(** Advance the persistent head past all records before [end_off]: they
+    have been reproduced to their home locations and may be overwritten.
+    Persists the header (the only persist ordering Reproduce needs). *)
+
+val head_off : t -> int
+
+val tail_off : t -> int
+
+val next_seq : t -> int

@@ -1,0 +1,1 @@
+lib/nvm/mem.ml: Bytes Char Printf

@@ -1,0 +1,1 @@
+lib/nvm/nvm.ml: Bytes Char Dudetm_sim Hashtbl List Mem Pmem_config

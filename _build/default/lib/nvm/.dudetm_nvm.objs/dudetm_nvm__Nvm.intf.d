@@ -1,0 +1,1 @@
+lib/nvm/nvm.mli: Dudetm_sim Pmem_config

@@ -1,0 +1,1 @@
+lib/nvm/pmem_config.ml: Format

@@ -1,0 +1,142 @@
+module Rng = Dudetm_sim.Rng
+module Sched = Dudetm_sim.Sched
+module Resource = Dudetm_sim.Resource
+
+(* Dirty state is tracked per cache line (the granularity of eviction and
+   crash survival), but each line also remembers how many payload bytes
+   were actually stored into it since its last flush.  Persist-cost
+   accounting uses those byte counts — the paper's emulation charges
+   [total write size / bandwidth], not whole-line traffic. *)
+type t = {
+  cfg : Pmem_config.t;
+  latest : Mem.t;
+  persisted : Mem.t;
+  dirty : (int, int ref) Hashtbl.t;  (* line number -> dirty payload bytes *)
+  channel : Resource.t;
+  charge_time : bool;
+  mutable write_bytes : int;
+  mutable persist_ops : int;
+}
+
+let create ?(charge_time = true) cfg ~size =
+  if size mod cfg.Pmem_config.line_size <> 0 then
+    invalid_arg "Nvm.create: size must be a multiple of the line size";
+  {
+    cfg;
+    latest = Mem.create size;
+    persisted = Mem.create size;
+    dirty = Hashtbl.create 4096;
+    channel = Resource.create_gbps cfg.Pmem_config.bandwidth_gbps;
+    charge_time;
+    write_bytes = 0;
+    persist_ops = 0;
+  }
+
+let size t = Mem.size t.latest
+
+let config t = t.cfg
+
+let line t addr = addr / t.cfg.Pmem_config.line_size
+
+let mark_dirty t off len =
+  let ls = t.cfg.Pmem_config.line_size in
+  let first = line t off and last = line t (off + len - 1) in
+  for l = first to last do
+    let lo = max off (l * ls) and hi = min (off + len) ((l + 1) * ls) in
+    match Hashtbl.find_opt t.dirty l with
+    | Some c -> c := min ls (!c + hi - lo)
+    | None -> Hashtbl.add t.dirty l (ref (hi - lo))
+  done
+
+let load_u64 t addr = Mem.get_u64 t.latest addr
+
+let store_u64 t addr v =
+  Mem.set_u64 t.latest addr v;
+  mark_dirty t addr 8
+
+let load_u8 t addr = Mem.get_u8 t.latest addr
+
+let store_u8 t addr v =
+  Mem.set_u8 t.latest addr v;
+  mark_dirty t addr 1
+
+let load_bytes t off len = Mem.get_bytes t.latest off len
+
+let store_bytes t off b =
+  Mem.set_bytes t.latest off b;
+  if Bytes.length b > 0 then mark_dirty t off (Bytes.length b)
+
+let flush_line t l =
+  let ls = t.cfg.Pmem_config.line_size in
+  let payload = match Hashtbl.find_opt t.dirty l with Some c -> !c | None -> 0 in
+  Mem.blit ~src:t.latest ~src_off:(l * ls) ~dst:t.persisted ~dst_off:(l * ls) ~len:ls;
+  Hashtbl.remove t.dirty l;
+  t.write_bytes <- t.write_bytes + payload;
+  payload
+
+let charge t bytes =
+  t.persist_ops <- t.persist_ops + 1;
+  if t.charge_time then begin
+    let cost =
+      Resource.transfer t.channel ~now:(Sched.now ()) ~bytes
+        ~latency:t.cfg.Pmem_config.persist_latency
+    in
+    Sched.advance cost
+  end
+
+let flush_range t ~off ~len =
+  if len < 0 || off < 0 || off + len > size t then invalid_arg "Nvm.persist: bad range";
+  let bytes = ref 0 in
+  if len > 0 then begin
+    let first = line t off and last = line t (off + len - 1) in
+    for l = first to last do
+      if Hashtbl.mem t.dirty l then bytes := !bytes + flush_line t l
+    done
+  end;
+  !bytes
+
+let persist t ~off ~len = charge t (flush_range t ~off ~len)
+
+let persist_ranges t ranges =
+  let bytes = List.fold_left (fun acc (off, len) -> acc + flush_range t ~off ~len) 0 ranges in
+  charge t bytes
+
+let persist_all t = persist t ~off:0 ~len:(size t)
+
+let dirty_lines t = Hashtbl.length t.dirty
+
+let crash ?(evict_fraction = 0.0) ?rng t =
+  (match rng with
+  | Some rng when evict_fraction > 0.0 ->
+    let survivors =
+      Hashtbl.fold
+        (fun l _ acc -> if Rng.float rng < evict_fraction then l :: acc else acc)
+        t.dirty []
+    in
+    (* Evicted lines reach NVM without any ordering guarantee; the subset
+       choice is the adversarial part. *)
+    List.iter (fun l -> ignore (flush_line t l)) survivors
+  | _ -> ());
+  Hashtbl.reset t.dirty;
+  Mem.blit_from ~src:t.persisted t.latest;
+  Resource.reset t.channel
+
+let persisted_u64 t addr = Mem.get_u64 t.persisted addr
+
+let persisted_bytes_equal t off b =
+  let len = Bytes.length b in
+  if off < 0 || off + len > size t then false
+  else begin
+    let rec go i =
+      i >= len || (Mem.get_u8 t.persisted (off + i) = Char.code (Bytes.get b i) && go (i + 1))
+    in
+    go 0
+  end
+
+let persisted_write_bytes t = t.write_bytes
+
+let persist_ops t = t.persist_ops
+
+let reset_counters t =
+  t.write_bytes <- 0;
+  t.persist_ops <- 0

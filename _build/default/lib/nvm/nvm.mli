@@ -1,0 +1,83 @@
+(** Simulated persistent-memory device.
+
+    The device keeps two images: [latest], what CPU loads observe (including
+    stores still sitting in the volatile cache hierarchy), and [persisted],
+    what survives a crash.  A {!store_u64} only updates [latest] and marks
+    the covering cache line dirty; data reaches [persisted] exclusively via
+    {!persist}, which models [CLWB]+[SFENCE] over a byte range and charges
+    the paper's [max(latency, bytes/bandwidth)] cost against a serialized
+    bandwidth channel.
+
+    {!crash} drops the volatile side.  To model the CPU's {e uncontrolled}
+    cache evictions — the hazard DudeTM's design sidesteps by never storing
+    dirty data to NVM addresses directly — a crash can also leak a random
+    subset of dirty lines into the persisted image. *)
+
+type t
+
+val create : ?charge_time:bool -> Pmem_config.t -> size:int -> t
+(** [create cfg ~size] makes a device of [size] bytes, zero-filled and fully
+    persistent.  [charge_time] (default true) controls whether persists
+    advance the simulated clock. *)
+
+val size : t -> int
+
+val config : t -> Pmem_config.t
+
+(** {1 Volatile-side access (CPU loads/stores)} *)
+
+val load_u64 : t -> int -> int64
+
+val store_u64 : t -> int -> int64 -> unit
+
+val load_u8 : t -> int -> int
+
+val store_u8 : t -> int -> int -> unit
+
+val load_bytes : t -> int -> int -> bytes
+
+val store_bytes : t -> int -> bytes -> unit
+
+(** {1 Persistence} *)
+
+val persist : t -> off:int -> len:int -> unit
+(** Flush every dirty line intersecting [\[off, off+len)] to the persisted
+    image and drain the store queue.  Charges
+    [max(persist_latency, dirty_bytes / bandwidth)] cycles, with the
+    bandwidth component serialized across all users of the device. *)
+
+val persist_all : t -> unit
+
+val persist_ranges : t -> (int * int) list -> unit
+(** [persist_ranges t ranges] flushes every dirty line covered by any of the
+    [(off, len)] ranges under a {e single} persist ordering: one latency,
+    one bandwidth booking for the total flushed bytes.  Used by Reproduce
+    to persist a whole batch of reproduced writes at once. *)
+
+val dirty_lines : t -> int
+(** Number of lines currently dirty (not yet persisted). *)
+
+(** {1 Crash and recovery} *)
+
+val crash : ?evict_fraction:float -> ?rng:Dudetm_sim.Rng.t -> t -> unit
+(** Simulate a power failure: each dirty line independently survives with
+    probability [evict_fraction] (default 0 — none survive, the adversarial
+    tests sweep this), then all volatile state is discarded and [latest] is
+    reloaded from the persisted image. *)
+
+val persisted_u64 : t -> int -> int64
+(** Read the persisted image directly (for tests and recovery checks). *)
+
+val persisted_bytes_equal : t -> int -> bytes -> bool
+(** [persisted_bytes_equal t off b] checks the persisted image against [b]. *)
+
+(** {1 Accounting} *)
+
+val persisted_write_bytes : t -> int
+(** Total bytes ever flushed to the persisted image (the paper's "NVM write
+    traffic"). *)
+
+val persist_ops : t -> int
+(** Number of persist orderings issued. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/shadow/page_table.ml: Array List

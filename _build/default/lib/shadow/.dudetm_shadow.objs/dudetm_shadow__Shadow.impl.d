@@ -1,0 +1,1 @@
+lib/shadow/shadow.ml: Array Dudetm_nvm Dudetm_sim Page_table

@@ -1,0 +1,1 @@
+lib/shadow/shadow.mli: Dudetm_nvm Dudetm_sim

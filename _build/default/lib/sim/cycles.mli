@@ -1,0 +1,28 @@
+(** Cycle-count arithmetic for the simulated machine.
+
+    All simulated costs in this repository are expressed in CPU cycles of a
+    nominal 3.4 GHz core (the paper's Xeon E5-2643 v4).  This module holds the
+    conversion helpers between cycles, wall-clock time and NVM bandwidth. *)
+
+val ghz : float
+(** Nominal core frequency in GHz (3.4, as in the paper's testbed). *)
+
+val per_second : float
+(** Cycles per second, i.e. [ghz *. 1e9]. *)
+
+val of_ns : float -> int
+(** [of_ns t] is the number of cycles covering [t] nanoseconds. *)
+
+val to_us : int -> float
+(** [to_us c] converts a cycle count to microseconds. *)
+
+val to_seconds : int -> float
+(** [to_seconds c] converts a cycle count to seconds. *)
+
+val per_byte_of_gbps : float -> float
+(** [per_byte_of_gbps bw] is the number of cycles needed to move one byte
+    over a channel of [bw] GB/s (decimal gigabytes, as the paper uses). *)
+
+val of_bytes_at_gbps : float -> int -> int
+(** [of_bytes_at_gbps bw n] is the cycle cost of moving [n] bytes at
+    [bw] GB/s, rounded up, and at least 1 for [n > 0]. *)

@@ -1,0 +1,217 @@
+exception Deadlock of string
+exception Killed
+
+type _ Effect.t +=
+  | Advance : int -> unit Effect.t
+  | Wait : (unit -> bool) * string -> unit Effect.t
+  | Spawn : bool * string * (unit -> unit) -> int Effect.t
+  | Now : int Effect.t
+  | Self : (int * string) Effect.t
+
+type state =
+  | Not_started of (unit -> unit)
+  | Running
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Waiting of { pred : unit -> bool; label : string; k : (unit, unit) Effect.Deep.continuation }
+  | Finished
+
+type thread = {
+  id : int;
+  name : string;
+  daemon : bool;
+  mutable clock : int;
+  mutable state : state;
+}
+
+type sched = {
+  mutable threads : thread list;  (* in spawn order; ids are positions *)
+  mutable rev_new : thread list;  (* threads spawned since last loop pass *)
+  mutable next_id : int;
+  mutable live_non_daemon : int;
+  mutable watermark : int;
+  trace : bool;
+}
+
+(* The simulation is single-OS-thread by construction, so one global current
+   scheduler is safe and keeps the public API free of a [t] parameter. *)
+let current : sched option ref = ref None
+
+let finish s t =
+  if t.state <> Finished then begin
+    t.state <- Finished;
+    if not t.daemon then s.live_non_daemon <- s.live_non_daemon - 1
+  end
+
+let handler s t =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> finish s t);
+    exnc =
+      (fun e ->
+        match e with
+        | Killed -> finish s t
+        | e ->
+          (* A crash of any simulated thread is a bug in the experiment:
+             surface it instead of silently finishing. *)
+          finish s t;
+          raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Advance n ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              t.clock <- t.clock + max 0 n;
+              t.state <- Paused k)
+        | Wait (pred, label) ->
+          Some
+            (fun k ->
+              if pred () then continue k ()
+              else t.state <- Waiting { pred; label; k })
+        | Spawn (daemon, name, f) ->
+          Some
+            (fun k ->
+              let id = s.next_id in
+              s.next_id <- id + 1;
+              let nt = { id; name; daemon; clock = t.clock; state = Not_started f } in
+              s.rev_new <- nt :: s.rev_new;
+              if not daemon then s.live_non_daemon <- s.live_non_daemon + 1;
+              continue k id)
+        | Now -> Some (fun k -> continue k t.clock)
+        | Self -> Some (fun k -> continue k (t.id, t.name))
+        | _ -> None);
+  }
+
+let absorb_new s =
+  if s.rev_new <> [] then begin
+    s.threads <- s.threads @ List.rev s.rev_new;
+    s.rev_new <- []
+  end
+
+(* Pick the runnable thread with the smallest (clock, id).  A blocked thread
+   whose predicate is still false has its clock dragged up to the winning
+   clock, modelling time passing while it polls. *)
+let pick s =
+  let best = ref None in
+  let consider t =
+    match !best with
+    | None -> best := Some t
+    | Some b -> if t.clock < b.clock then best := Some t
+  in
+  List.iter
+    (fun t ->
+      match t.state with
+      | Not_started _ | Paused _ -> consider t
+      | Waiting { pred; _ } -> if pred () then consider t
+      | Running | Finished -> ())
+    s.threads;
+  (match !best with
+  | Some w ->
+    List.iter
+      (fun t ->
+        match t.state with
+        | Waiting { pred; _ } when not (pred ()) ->
+          if t.clock < w.clock then t.clock <- w.clock
+        | _ -> ())
+      s.threads
+  | None -> ());
+  !best
+
+let resume s t =
+  if t.clock > s.watermark then s.watermark <- t.clock;
+  if s.trace then
+    Printf.eprintf "[sched %10d] resume %d:%s\n%!" t.clock t.id t.name;
+  match t.state with
+  | Not_started f ->
+    t.state <- Running;
+    Effect.Deep.match_with f () (handler s t)
+  | Paused k ->
+    t.state <- Running;
+    Effect.Deep.continue k ()
+  | Waiting { k; _ } ->
+    t.state <- Running;
+    Effect.Deep.continue k ()
+  | Running | Finished -> assert false
+
+let blocked_report s =
+  s.threads
+  |> List.filter_map (fun t ->
+         match t.state with
+         | Waiting { label; _ } ->
+           Some (Printf.sprintf "%d:%s waiting on %s" t.id t.name label)
+         | _ -> None)
+  |> String.concat "; "
+
+let kill_daemons s =
+  List.iter
+    (fun t ->
+      match t.state with
+      | Not_started _ -> finish s t
+      | Paused k | Waiting { k; _ } ->
+        t.state <- Running;
+        (try Effect.Deep.discontinue k Killed with Killed -> ());
+        finish s t
+      | Running | Finished -> ())
+    s.threads
+
+let run ?(trace = false) main =
+  if !current <> None then invalid_arg "Sched.run: nested simulations are not supported";
+  let s =
+    {
+      threads = [];
+      rev_new = [];
+      next_id = 1;
+      live_non_daemon = 1;
+      watermark = 0;
+      trace;
+    }
+  in
+  let t0 = { id = 0; name = "main"; daemon = false; clock = 0; state = Not_started main } in
+  s.threads <- [ t0 ];
+  current := Some s;
+  let release () = current := None in
+  (try
+     let rec loop () =
+       absorb_new s;
+       if s.live_non_daemon > 0 then
+         match pick s with
+         | Some t ->
+           resume s t;
+           loop ()
+         | None -> raise (Deadlock (blocked_report s))
+     in
+     loop ();
+     absorb_new s;
+     kill_daemons s
+   with e ->
+     release ();
+     raise e);
+  release ();
+  s.watermark
+
+let perform_default : 'a. 'a Effect.t -> 'a -> 'a =
+ fun eff default -> try Effect.perform eff with Effect.Unhandled _ -> default
+
+let advance n = perform_default (Advance n) ()
+
+let yield () = advance 1
+
+let wait_until ?(label = "?") pred =
+  try Effect.perform (Wait (pred, label))
+  with Effect.Unhandled _ ->
+    if not (pred ()) then
+      raise (Deadlock (Printf.sprintf "wait_until %S outside a simulation" label))
+
+let now () = perform_default Now 0
+
+let self () = fst (perform_default Self (0, "<main>"))
+
+let self_name () = snd (perform_default Self (0, "<main>"))
+
+let spawn ?(daemon = false) name f =
+  try Effect.perform (Spawn (daemon, name, f))
+  with Effect.Unhandled _ -> invalid_arg "Sched.spawn outside a simulation"
+
+let global_now () = match !current with None -> 0 | Some s -> s.watermark
+
+let running () = !current <> None

@@ -1,0 +1,64 @@
+(** Deterministic cooperative scheduler for simulated threads.
+
+    The simulator models the paper's multicore testbed with logical threads
+    driven by OCaml 5 effect handlers.  Each thread owns a local cycle clock;
+    the scheduler always resumes the runnable thread with the smallest clock
+    (conservative discrete-event order), so a whole experiment — including
+    races between Perform, Persist and Reproduce threads — replays
+    deterministically.
+
+    Threads communicate through shared mutable state and synchronise with
+    {!wait_until}.  A thread is charged simulated time explicitly via
+    {!advance}; while blocked, its clock tracks global simulated time so
+    waiting is charged as busy-polling, which is how the paper's
+    implementation waits too. *)
+
+exception Deadlock of string
+(** Raised when no thread can make progress: every live non-daemon thread is
+    blocked on a false predicate.  The payload lists the blocked threads. *)
+
+val run : ?trace:bool -> (unit -> unit) -> int
+(** [run main] executes [main] as the first logical thread, scheduling it and
+    everything it {!spawn}s until all non-daemon threads finish; remaining
+    daemon threads are then cancelled.  Returns the final simulated time in
+    cycles.  Must not be nested. *)
+
+val spawn : ?daemon:bool -> string -> (unit -> unit) -> int
+(** [spawn name f] creates a new logical thread starting at the caller's
+    current clock and returns its id.  Daemon threads ([daemon] defaults to
+    [false]) do not keep the simulation alive: once only daemons remain they
+    are cancelled by raising {!Killed} inside them.  Only valid inside
+    {!run}. *)
+
+exception Killed
+(** Raised inside a daemon thread when the simulation shuts down.  Daemon
+    loops may catch it to run cleanup; it is absorbed by the scheduler. *)
+
+val advance : int -> unit
+(** [advance n] charges the calling thread [n] cycles and yields to the
+    scheduler.  Outside {!run} it is a no-op, so cost-annotated library code
+    can also be exercised by plain unit tests. *)
+
+val yield : unit -> unit
+(** [yield ()] is [advance 1]: the minimal preemption point. *)
+
+val wait_until : ?label:string -> (unit -> bool) -> unit
+(** [wait_until p] blocks the calling thread until [p ()] is true.  [p] must
+    be a pure read of shared state.  While blocked, the thread's clock
+    follows simulated time.  Outside {!run}, returns immediately if [p ()]
+    holds and raises {!Deadlock} otherwise. *)
+
+val now : unit -> int
+(** Current local clock of the calling thread (0 outside {!run}). *)
+
+val self : unit -> int
+(** Id of the calling thread (0 outside {!run}). *)
+
+val self_name : unit -> string
+(** Name of the calling thread (["<main>"] outside {!run}). *)
+
+val global_now : unit -> int
+(** High-water mark of simulated time across all threads so far. *)
+
+val running : unit -> bool
+(** Whether the caller executes inside an active simulation. *)

@@ -1,0 +1,36 @@
+(** Named integer counters and latency recorders for experiments. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for counters never touched. *)
+
+val reset : t -> unit
+
+val to_list : t -> (string * int) list
+(** Counters sorted by name. *)
+
+(** Latency sample recorder with percentile queries. *)
+module Latency : sig
+  type r
+
+  val create : unit -> r
+
+  val record : r -> int -> unit
+  (** Record one latency sample, in cycles. *)
+
+  val count : r -> int
+
+  val percentile : r -> float -> int
+  (** [percentile r p] with [p] in [\[0,100\]]; 0 when empty. *)
+
+  val mean : r -> float
+
+  val reset : r -> unit
+end

@@ -1,0 +1,1 @@
+lib/tm/htm.ml: Dudetm_sim Hashtbl List Tm_intf

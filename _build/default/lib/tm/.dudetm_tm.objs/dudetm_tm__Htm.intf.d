@@ -1,0 +1,1 @@
+lib/tm/htm.mli: Tm_intf

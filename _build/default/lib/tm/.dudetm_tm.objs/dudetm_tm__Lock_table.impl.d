@@ -1,0 +1,1 @@
+lib/tm/lock_table.ml: Array

@@ -1,0 +1,1 @@
+lib/tm/tinystm.ml: Dudetm_sim Hashtbl List Lock_table Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tinystm.mli: Lock_table Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tinystm_wb.ml: Dudetm_sim Hashtbl List Lock_table Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tinystm_wb.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/workloads/bptree_app.ml: Dudetm_baselines Int64 List Printf

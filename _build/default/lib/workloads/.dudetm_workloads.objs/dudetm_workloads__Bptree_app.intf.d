@@ -1,0 +1,1 @@
+lib/workloads/bptree_app.mli: Dudetm_baselines

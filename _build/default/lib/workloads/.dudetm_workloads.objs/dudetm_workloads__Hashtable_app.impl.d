@@ -1,0 +1,1 @@
+lib/workloads/hashtable_app.ml: Dudetm_baselines Dudetm_sim Int64 List

@@ -1,0 +1,1 @@
+lib/workloads/hashtable_app.mli: Dudetm_baselines

@@ -1,0 +1,1 @@
+lib/workloads/kv.ml: Bptree_app Dudetm_baselines Hashtable_app Int64 List

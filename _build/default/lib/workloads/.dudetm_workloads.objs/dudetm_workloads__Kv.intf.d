@@ -1,0 +1,1 @@
+lib/workloads/kv.mli: Bptree_app Dudetm_baselines Hashtable_app

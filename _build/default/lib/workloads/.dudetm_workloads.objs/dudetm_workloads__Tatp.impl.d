@@ -1,0 +1,1 @@
+lib/workloads/tatp.ml: Dudetm_sim Int64 Kv

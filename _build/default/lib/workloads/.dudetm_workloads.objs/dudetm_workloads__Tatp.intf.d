@@ -1,0 +1,1 @@
+lib/workloads/tatp.mli: Dudetm_baselines Dudetm_sim Kv

@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Bptree_app Dudetm_baselines Dudetm_sim Hashtable_app Int64 Kv List Option Printf

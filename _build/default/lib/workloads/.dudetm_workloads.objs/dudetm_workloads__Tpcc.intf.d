@@ -1,0 +1,1 @@
+lib/workloads/tpcc.mli: Dudetm_baselines Dudetm_sim Kv

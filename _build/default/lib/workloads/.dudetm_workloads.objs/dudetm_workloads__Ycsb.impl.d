@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Array Bptree_app Dudetm_baselines Dudetm_sim Int64 Zipf

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.mli: Bptree_app Dudetm_baselines Dudetm_sim

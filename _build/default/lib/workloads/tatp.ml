@@ -1,0 +1,26 @@
+module Rng = Dudetm_sim.Rng
+
+type t = { kv : Kv.t; n : int }
+
+let setup ptm ~storage ~subscribers =
+  if subscribers < 1 then invalid_arg "Tatp.setup";
+  let kv = Kv.setup ptm storage ~capacity:(2 * subscribers) in
+  for s = 1 to subscribers do
+    let loc = Int64.of_int (10_000 + s) in
+    if not (Kv.insert kv ~thread:0 ~key:(Int64.of_int s) ~value:loc) then
+      failwith "Tatp.setup: subscriber table full"
+  done;
+  { kv; n = subscribers }
+
+let subscribers t = t.n
+
+let update_location t ~thread ~rng =
+  let s_id = 1 + Rng.int rng t.n in
+  let loc = Int64.logand (Rng.next_int64 rng) 0xFFFFFFFFL in
+  if not (Kv.update t.kv ~thread ~key:(Int64.of_int s_id) ~value:loc) then
+    failwith "Tatp: missing subscriber"
+
+let peek_location t ~s_id =
+  match Kv.peek_lookup t.kv ~key:(Int64.of_int s_id) with
+  | Some v -> v
+  | None -> failwith "Tatp: missing subscriber"

@@ -1,0 +1,22 @@
+(** TATP benchmark, Update Location transaction only (Section 5.1).
+
+    Models a mobile-carrier database: a subscriber table keyed by
+    subscriber ID.  Update Location records a handoff — one search and one
+    field update, the paper's shortest transaction (1 write per
+    transaction, Table 1). *)
+
+type t
+
+val setup :
+  Dudetm_baselines.Ptm_intf.t -> storage:Kv.kind -> subscribers:int -> t
+(** Load [subscribers] subscriber rows (IDs 1..n) with initial VLR
+    locations. *)
+
+val subscribers : t -> int
+
+val update_location : t -> thread:int -> rng:Dudetm_sim.Rng.t -> unit
+(** One Update Location transaction: uniform-random subscriber, new random
+    location. *)
+
+val peek_location : t -> s_id:int -> int64
+(** Current location of a subscriber (non-transactional; for tests). *)

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Bytes Dudetm_core Dudetm_nvm Dudetm_sim List Option QCheck2 QCheck_alcotest

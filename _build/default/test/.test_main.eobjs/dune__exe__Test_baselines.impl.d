@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_sim Int64 List Option

@@ -1,0 +1,1 @@
+test/test_dudetm.ml: Alcotest Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Int64 Printf QCheck2 QCheck_alcotest

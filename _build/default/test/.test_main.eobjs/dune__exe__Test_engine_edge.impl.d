@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Alcotest Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Int64 List Printf

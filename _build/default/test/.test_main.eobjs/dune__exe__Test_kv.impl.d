@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_workloads Int64 List Option

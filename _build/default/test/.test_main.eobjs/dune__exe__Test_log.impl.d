@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Bytes Dudetm_log Dudetm_sim Hashtbl Int64 List QCheck2 QCheck_alcotest String

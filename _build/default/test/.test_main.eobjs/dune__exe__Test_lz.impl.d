@@ -1,0 +1,1 @@
+test/test_lz.ml: Alcotest Bytes Char Dudetm_log Dudetm_sim Int64 List QCheck2 QCheck_alcotest String

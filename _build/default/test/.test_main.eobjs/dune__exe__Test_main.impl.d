@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_alloc Test_baselines Test_dudetm Test_engine_edge Test_kv Test_log Test_lz Test_nvm Test_plog Test_shadow Test_sim Test_tm Test_workloads

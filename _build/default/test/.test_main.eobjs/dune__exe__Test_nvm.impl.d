@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Array Bytes Dudetm_nvm Dudetm_sim Int64 List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_plog.ml: Alcotest Bytes Dudetm_log Dudetm_nvm Dudetm_sim List Printf QCheck2 QCheck_alcotest String

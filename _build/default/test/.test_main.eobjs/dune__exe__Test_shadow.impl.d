@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Array Dudetm_nvm Dudetm_shadow Dudetm_sim Option

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dudetm_sim List

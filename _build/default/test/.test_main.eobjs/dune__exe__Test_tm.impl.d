@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Bytes Dudetm_sim Dudetm_tm Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dudetm_baselines Dudetm_core Dudetm_nvm Dudetm_sim Dudetm_tm Dudetm_workloads Hashtbl Int64 List QCheck2 QCheck_alcotest

@@ -1,0 +1,99 @@
+(* Kv dispatch layer and descriptor-based attach (restart/recovery path). *)
+
+module Sched = Dudetm_sim.Sched
+module Rng = Dudetm_sim.Rng
+module Nvm = Dudetm_nvm.Nvm
+module Config = Dudetm_core.Config
+module B = Dudetm_baselines
+module W = Dudetm_workloads
+module Ptm = B.Ptm_intf
+module D = B.Dude_ptm.Stm.D
+
+let check = Alcotest.check
+
+let volatile () = B.Volatile_stm.ptm ~heap_size:(4 * 1024 * 1024) ()
+
+let test_dispatch_equivalence () =
+  (* The same operation sequence through both storages yields the same
+     visible map. *)
+  let ops =
+    let rng = Rng.create 3 in
+    List.init 400 (fun _ ->
+        (Rng.int rng 3, 1 + Rng.int rng 100, Int64.to_int (Rng.next_int64 rng) land 0xFFFF))
+  in
+  let run kind =
+    let ptm = volatile () in
+    let kv = W.Kv.setup ptm kind ~capacity:512 in
+    List.iter
+      (fun (op, k, v) ->
+        let key = Int64.of_int k and value = Int64.of_int v in
+        match op with
+        | 0 -> ignore (W.Kv.insert kv ~thread:0 ~key ~value)
+        | 1 -> ignore (W.Kv.update kv ~thread:0 ~key ~value)
+        | _ -> ignore (W.Kv.lookup kv ~thread:0 ~key))
+      ops;
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (W.Kv.peek_lookup kv ~key:(Int64.of_int k)))
+      (List.init 100 (fun i -> i + 1))
+  in
+  check
+    Alcotest.(list (pair int int64))
+    "hash and tree agree" (run W.Kv.Hash) (run W.Kv.Tree)
+
+let test_kind_accessor () =
+  let ptm = volatile () in
+  check Alcotest.bool "hash kind" true
+    (W.Kv.kind (W.Kv.setup ptm W.Kv.Hash ~capacity:64) = W.Kv.Hash);
+  check Alcotest.bool "tree kind" true
+    (W.Kv.kind (W.Kv.setup ptm W.Kv.Tree ~capacity:0) = W.Kv.Tree)
+
+let test_tree_static_rejected () =
+  let ptm = volatile () in
+  let kv = W.Kv.setup ptm W.Kv.Tree ~capacity:0 in
+  Alcotest.check_raises "plan_insert on tree rejected"
+    (Invalid_argument "Kv.plan_insert: trees do not support static transactions") (fun () ->
+      ignore (W.Kv.plan_insert kv ~key:1L))
+
+let attach_roundtrip kind =
+  let cfg = { Config.default with Config.heap_size = 2 * 1024 * 1024; nthreads = 2 } in
+  let ptm, d = B.Dude_ptm.Stm.ptm cfg in
+  let desc = ptm.Ptm.root_base + 64 in
+  ignore
+    (Sched.run (fun () ->
+         ptm.Ptm.start ();
+         let kv = W.Kv.setup ~desc ptm kind ~capacity:256 in
+         for i = 1 to 100 do
+           ignore (W.Kv.insert kv ~thread:0 ~key:(Int64.of_int i) ~value:(Int64.of_int (7 * i)))
+         done;
+         ptm.Ptm.drain ();
+         ptm.Ptm.stop ()));
+  Nvm.crash (D.nvm d);
+  let ptm2, _, _ = B.Dude_ptm.Stm.attach_ptm cfg (D.nvm d) in
+  let kv2 = W.Kv.attach ~desc ptm2 kind in
+  for i = 1 to 100 do
+    check
+      (Alcotest.option Alcotest.int64)
+      "binding survives crash + attach"
+      (Some (Int64.of_int (7 * i)))
+      (W.Kv.peek_lookup kv2 ~key:(Int64.of_int i))
+  done
+
+let test_attach_hash () = attach_roundtrip W.Kv.Hash
+
+let test_attach_tree () = attach_roundtrip W.Kv.Tree
+
+let test_hashtable_attach_validates () =
+  let ptm = volatile () in
+  Alcotest.check_raises "garbage descriptor rejected"
+    (Invalid_argument "Hashtable_app.attach: descriptor does not hold a table") (fun () ->
+      ignore (W.Hashtable_app.attach ~desc:ptm.Ptm.root_base ptm))
+
+let suite =
+  [
+    Alcotest.test_case "hash/tree dispatch equivalence" `Quick test_dispatch_equivalence;
+    Alcotest.test_case "kind accessor" `Quick test_kind_accessor;
+    Alcotest.test_case "tree rejects static planning" `Quick test_tree_static_rejected;
+    Alcotest.test_case "descriptor attach after crash (hash)" `Quick test_attach_hash;
+    Alcotest.test_case "descriptor attach after crash (tree)" `Quick test_attach_tree;
+    Alcotest.test_case "hash attach validates descriptor" `Quick test_hashtable_attach_validates;
+  ]

@@ -1,0 +1,240 @@
+(* Redo-log machinery: entries, volatile ring, checksums, combination. *)
+
+module Log_entry = Dudetm_log.Log_entry
+module Vlog = Dudetm_log.Vlog
+module Checksum = Dudetm_log.Checksum
+module Combine = Dudetm_log.Combine
+module Sched = Dudetm_sim.Sched
+
+let check = Alcotest.check
+
+let entry_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun a v -> Log_entry.Write { addr = a * 8; value = Int64.of_int v })
+          (int_range 0 100000) (int_range (-1000000) 1000000);
+        map2 (fun o l -> Log_entry.Alloc { off = o * 8; len = 1 + l }) (int_range 0 10000)
+          (int_range 0 500);
+        map2 (fun o l -> Log_entry.Free { off = o * 8; len = 1 + l }) (int_range 0 10000)
+          (int_range 0 500);
+        map (fun tid -> Log_entry.Tx_end { tid = 1 + tid }) (int_range 0 1000000);
+      ])
+
+let prop_encode_roundtrip =
+  QCheck2.Test.make ~name:"log entries: encode/decode roundtrip" ~count:300
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 100) entry_gen)
+    (fun entries ->
+      Log_entry.decode_list (Log_entry.encode_list entries) = entries)
+
+let test_encode_sizes () =
+  let w = Log_entry.Write { addr = 8; value = 1L } in
+  let e = Log_entry.Tx_end { tid = 1 } in
+  check Alcotest.int "write entry is 17 bytes" 17 (Log_entry.encoded_size w);
+  check Alcotest.int "end mark is 9 bytes" 9 (Log_entry.encoded_size e);
+  check Alcotest.int "encode_list concatenates" 26
+    (Bytes.length (Log_entry.encode_list [ w; e ]))
+
+let test_decode_rejects_garbage () =
+  Alcotest.check_raises "bad tag rejected" (Invalid_argument "Log_entry.decode_list: bad tag 'Z'")
+    (fun () -> ignore (Log_entry.decode_list (Bytes.of_string "Zxxxxxxxxxxxxxxxx")));
+  Alcotest.check_raises "truncation rejected"
+    (Invalid_argument "Log_entry.decode_list: truncated Write") (fun () ->
+      ignore (Log_entry.decode_list (Bytes.of_string "Wshort")))
+
+let test_tids_extraction () =
+  let entries =
+    [
+      Log_entry.Write { addr = 0; value = 1L };
+      Log_entry.Tx_end { tid = 5 };
+      Log_entry.Write { addr = 8; value = 2L };
+      Log_entry.Tx_end { tid = 6 };
+    ]
+  in
+  check Alcotest.(list int) "tids in order" [ 5; 6 ] (Log_entry.tids entries)
+
+(* ------------------------------- vlog -------------------------------- *)
+
+let w addr = Log_entry.Write { addr; value = Int64.of_int addr }
+
+let test_vlog_basic () =
+  let v = Vlog.create ~capacity:16 () in
+  Vlog.append v (w 0);
+  Vlog.append v (w 8);
+  check Alcotest.int "unsealed entries invisible to consumer" 0 (Vlog.committed v - Vlog.head v);
+  Vlog.append_end v ~tid:1;
+  check Alcotest.int "sealed entries visible" 3 (Vlog.committed v - Vlog.head v);
+  check Alcotest.bool "entry readable" true (Vlog.get v 0 = w 0);
+  Vlog.consume_to v (Vlog.committed v);
+  check Alcotest.int "consumed" 0 (Vlog.committed v - Vlog.head v)
+
+let test_vlog_abort_pop () =
+  let v = Vlog.create ~capacity:16 () in
+  Vlog.append v (w 0);
+  Vlog.append_end v ~tid:1;
+  Vlog.append v (w 8);
+  Vlog.append v (w 16);
+  check Alcotest.int "two unsealed entries" 2 (Vlog.current_tx_entries v);
+  Vlog.pop_current_tx v;
+  check Alcotest.int "aborted entries dropped" 0 (Vlog.current_tx_entries v);
+  check Alcotest.int "sealed prefix intact" 2 (Vlog.committed v - Vlog.head v)
+
+let test_vlog_wraparound () =
+  let v = Vlog.create ~capacity:8 () in
+  for round = 1 to 10 do
+    Vlog.append v (w (8 * round));
+    Vlog.append v (w (8 * round));
+    Vlog.append_end v ~tid:round;
+    (* Consumer keeps pace, forcing the ring to wrap repeatedly. *)
+    check Alcotest.bool "entry content correct across wrap" true
+      (Vlog.get v (Vlog.head v) = w (8 * round));
+    Vlog.consume_to v (Vlog.committed v)
+  done;
+  check Alcotest.int "total appended" 30 (Vlog.total_appended v)
+
+let test_vlog_blocks_when_full () =
+  (* Producer must block on a full ring until the consumer frees space. *)
+  let v = Vlog.create ~capacity:4 () in
+  let produced = ref 0 in
+  ignore
+    (Sched.run (fun () ->
+         ignore
+           (Sched.spawn "producer" (fun () ->
+                for i = 1 to 10 do
+                  Vlog.append v (w (8 * i));
+                  Vlog.append_end v ~tid:i;
+                  incr produced
+                done));
+         ignore
+           (Sched.spawn "consumer" (fun () ->
+                let consumed = ref 0 in
+                while !consumed < 20 do
+                  Sched.advance 50;
+                  let avail = Vlog.committed v - Vlog.head v in
+                  consumed := !consumed + avail;
+                  Vlog.consume_to v (Vlog.committed v)
+                done))));
+  check Alcotest.int "producer finished despite tiny ring" 10 !produced;
+  check Alcotest.bool "producer blocked at least once" true (Vlog.producer_blocks v > 0)
+
+let test_vlog_unbounded_grows () =
+  let v = Vlog.create ~unbounded:true ~capacity:4 () in
+  for i = 1 to 100 do
+    Vlog.append v (w (8 * i))
+  done;
+  Vlog.append_end v ~tid:1;
+  check Alcotest.int "grew beyond initial capacity" 101 (Vlog.length v);
+  check Alcotest.int "no blocking in unbounded mode" 0 (Vlog.producer_blocks v);
+  (* Contents survive growth. *)
+  check Alcotest.bool "first entry intact" true (Vlog.get v 0 = w 8);
+  check Alcotest.bool "last entry intact" true (Vlog.get v 99 = w 800)
+
+let test_vlog_clear () =
+  let v = Vlog.create ~capacity:8 () in
+  Vlog.append v (w 0);
+  Vlog.append_end v ~tid:1;
+  Vlog.clear v;
+  check Alcotest.int "empty after clear" 0 (Vlog.length v)
+
+(* ----------------------------- checksum ------------------------------ *)
+
+let test_crc_known_value () =
+  (* IEEE CRC-32 of "123456789" is 0xCBF43926. *)
+  check Alcotest.int32 "crc32 check vector" 0xCBF43926l
+    (Checksum.crc32_bytes (Bytes.of_string "123456789"))
+
+let test_crc_detects_flip () =
+  let b = Bytes.of_string "some log record payload" in
+  let c = Checksum.crc32_bytes b in
+  Bytes.set b 3 'X';
+  check Alcotest.bool "bit flip changes crc" true (c <> Checksum.crc32_bytes b)
+
+let prop_crc_chaining =
+  QCheck2.Test.make ~name:"crc32: chained equals whole" ~count:200
+    QCheck2.Gen.(tup2 (string_size (int_range 0 50)) (string_size (int_range 0 50)))
+    (fun (a, b) ->
+      let whole = Checksum.crc32_bytes (Bytes.of_string (a ^ b)) in
+      let c1 = Checksum.crc32 (Bytes.of_string a) 0 (String.length a) in
+      let chained = Checksum.crc32 ~init:c1 (Bytes.of_string b) 0 (String.length b) in
+      whole = chained)
+
+(* ----------------------------- combine ------------------------------- *)
+
+let replay entries =
+  let mem = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e with
+      | Log_entry.Write { addr; value } -> Hashtbl.replace mem addr value
+      | Log_entry.Alloc _ | Log_entry.Free _ | Log_entry.Tx_end _ -> ())
+    entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) mem [] |> List.sort compare
+
+let test_combine_last_writer_wins () =
+  let group =
+    [
+      Log_entry.Write { addr = 0; value = 1L };
+      Log_entry.Write { addr = 8; value = 2L };
+      Log_entry.Tx_end { tid = 1 };
+      Log_entry.Write { addr = 0; value = 3L };
+      Log_entry.Tx_end { tid = 2 };
+    ]
+  in
+  let combined, stats = Combine.combine group in
+  check Alcotest.int "writes in" 3 stats.Combine.writes_in;
+  check Alcotest.int "writes out" 2 stats.Combine.writes_out;
+  check Alcotest.bool "replay equivalent" true (replay group = replay combined);
+  check Alcotest.(list int) "all tids preserved" [ 1; 2 ] (Log_entry.tids combined)
+
+let test_combine_preserves_alloc_order () =
+  let group =
+    [
+      Log_entry.Alloc { off = 0; len = 8 };
+      Log_entry.Free { off = 0; len = 8 };
+      Log_entry.Alloc { off = 0; len = 8 };
+      Log_entry.Tx_end { tid = 1 };
+    ]
+  in
+  let combined, _ = Combine.combine group in
+  let allocs =
+    List.filter
+      (function Log_entry.Alloc _ | Log_entry.Free _ -> true | _ -> false)
+      combined
+  in
+  check Alcotest.int "all allocation events kept in order" 3 (List.length allocs);
+  check Alcotest.bool "order preserved" true
+    (allocs
+    = [
+        Log_entry.Alloc { off = 0; len = 8 };
+        Log_entry.Free { off = 0; len = 8 };
+        Log_entry.Alloc { off = 0; len = 8 };
+      ])
+
+let prop_combine_replay_equivalent =
+  QCheck2.Test.make ~name:"combine: replay-equivalent to the original group" ~count:300
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 120) entry_gen)
+    (fun group ->
+      let combined, stats = Combine.combine group in
+      replay group = replay combined
+      && stats.Combine.writes_out <= stats.Combine.writes_in
+      && Log_entry.tids combined = Log_entry.tids group)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+    Alcotest.test_case "entry encoding sizes" `Quick test_encode_sizes;
+    Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+    Alcotest.test_case "tids extraction" `Quick test_tids_extraction;
+    Alcotest.test_case "vlog basics" `Quick test_vlog_basic;
+    Alcotest.test_case "vlog abort pops attempt" `Quick test_vlog_abort_pop;
+    Alcotest.test_case "vlog wraps around" `Quick test_vlog_wraparound;
+    Alcotest.test_case "vlog blocks producer when full" `Quick test_vlog_blocks_when_full;
+    Alcotest.test_case "vlog unbounded growth" `Quick test_vlog_unbounded_grows;
+    Alcotest.test_case "vlog clear" `Quick test_vlog_clear;
+    Alcotest.test_case "crc32 check vector" `Quick test_crc_known_value;
+    Alcotest.test_case "crc32 detects corruption" `Quick test_crc_detects_flip;
+    QCheck_alcotest.to_alcotest prop_crc_chaining;
+    Alcotest.test_case "combine: last writer wins" `Quick test_combine_last_writer_wins;
+    Alcotest.test_case "combine preserves allocation order" `Quick test_combine_preserves_alloc_order;
+    QCheck_alcotest.to_alcotest prop_combine_replay_equivalent;
+  ]

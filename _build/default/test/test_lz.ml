@@ -1,0 +1,98 @@
+(* LZ compressor tests: roundtrip, ratio behaviour, malformed input. *)
+
+module Lz = Dudetm_log.Lz
+module Log_entry = Dudetm_log.Log_entry
+
+let check = Alcotest.check
+
+let roundtrip b = Lz.decompress (Lz.compress b)
+
+let test_empty () =
+  check Alcotest.bytes "empty roundtrip" (Bytes.create 0) (roundtrip (Bytes.create 0))
+
+let test_short () =
+  let b = Bytes.of_string "abc" in
+  check Alcotest.bytes "short input roundtrip" b (roundtrip b)
+
+let test_repetitive_compresses () =
+  let b = Bytes.of_string (String.concat "" (List.init 200 (fun _ -> "abcdefgh"))) in
+  check Alcotest.bytes "repetitive roundtrip" b (roundtrip b);
+  check Alcotest.bool "repetitive input shrinks a lot" true (Lz.ratio b > 0.9)
+
+let test_incompressible () =
+  let rng = Dudetm_sim.Rng.create 99 in
+  let b = Bytes.init 4096 (fun _ -> Char.chr (Dudetm_sim.Rng.int rng 256)) in
+  check Alcotest.bytes "random bytes roundtrip" b (roundtrip b);
+  check Alcotest.bool "random bytes do not shrink much" true (Lz.ratio b < 0.05)
+
+let test_long_match () =
+  (* Match length far beyond the 15-value nibble: exercises extension
+     bytes. *)
+  let b = Bytes.make 10_000 'x' in
+  check Alcotest.bytes "long run roundtrip" b (roundtrip b);
+  check Alcotest.bool "long run compresses" true (Bytes.length (Lz.compress b) < 100)
+
+let test_long_literals () =
+  (* Literal run beyond 15: exercises the literal extension path. *)
+  let b = Bytes.init 300 (fun i -> Char.chr (17 * i mod 251)) in
+  check Alcotest.bytes "long literal roundtrip" b (roundtrip b)
+
+let test_overlapping_match () =
+  (* "ababab..." needs overlapping copies in the decoder. *)
+  let b = Bytes.of_string ("ab" ^ String.concat "" (List.init 500 (fun _ -> "ab"))) in
+  check Alcotest.bytes "overlap roundtrip" b (roundtrip b)
+
+let test_log_payload_ratio () =
+  (* Redo-log payloads (small addresses, zero-heavy values) compress well;
+     the paper reports ~69% with lz4. *)
+  let entries =
+    List.init 2000 (fun i ->
+        Log_entry.Write { addr = 4096 + (8 * (i mod 500)); value = Int64.of_int (i mod 17) })
+  in
+  let payload = Log_entry.encode_list entries in
+  check Alcotest.bool "log payload compresses >40%" true (Lz.ratio payload > 0.4)
+
+let test_malformed_rejected () =
+  Alcotest.check_raises "offset 0 rejected" (Invalid_argument "Lz.decompress: bad offset")
+    (fun () ->
+      (* token: 1 literal, match len nibble 0; literal 'a'; offset 0. *)
+      ignore (Lz.decompress (Bytes.of_string "\x10a\x00\x00")));
+  Alcotest.check_raises "truncated literals rejected"
+    (Invalid_argument "Lz.decompress: truncated literals") (fun () ->
+      ignore (Lz.decompress (Bytes.of_string "\xF0a")))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"lz: compress/decompress roundtrip" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 2000))
+    (fun s ->
+      let b = Bytes.of_string s in
+      roundtrip b = b)
+
+let prop_roundtrip_structured =
+  (* Byte strings with heavy repetition to force the match paths. *)
+  QCheck2.Test.make ~name:"lz: roundtrip on repetitive input" ~count:300
+    QCheck2.Gen.(
+      map2
+        (fun pieces reps ->
+          String.concat ""
+            (List.concat_map (fun p -> List.init (1 + reps) (fun _ -> p)) pieces))
+        (list_size (int_range 1 8) (string_size (int_range 1 12)))
+        (int_range 0 20))
+    (fun s ->
+      let b = Bytes.of_string s in
+      roundtrip b = b)
+
+let suite =
+  [
+    Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "short input" `Quick test_short;
+    Alcotest.test_case "repetitive input compresses" `Quick test_repetitive_compresses;
+    Alcotest.test_case "incompressible input" `Quick test_incompressible;
+    Alcotest.test_case "long match extension" `Quick test_long_match;
+    Alcotest.test_case "long literal extension" `Quick test_long_literals;
+    Alcotest.test_case "overlapping matches" `Quick test_overlapping_match;
+    Alcotest.test_case "log payloads compress" `Quick test_log_payload_ratio;
+    Alcotest.test_case "malformed input rejected" `Quick test_malformed_rejected;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_structured;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "dudetm"
+    [
+      ("sim", Test_sim.suite);
+      ("nvm", Test_nvm.suite);
+      ("log", Test_log.suite);
+      ("lz", Test_lz.suite);
+      ("plog", Test_plog.suite);
+      ("tm", Test_tm.suite);
+      ("shadow", Test_shadow.suite);
+      ("alloc", Test_alloc.suite);
+      ("dudetm", Test_dudetm.suite);
+      ("engine-edge", Test_engine_edge.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("kv", Test_kv.suite);
+    ]

@@ -1,0 +1,148 @@
+(* Persistent log ring: append/attach, torn records, stale-data rejection,
+   wraparound, recycling. *)
+
+module Plog = Dudetm_log.Plog
+module Nvm = Dudetm_nvm.Nvm
+module Pmem_config = Dudetm_nvm.Pmem_config
+module Rng = Dudetm_sim.Rng
+
+let check = Alcotest.check
+
+let device () = Nvm.create ~charge_time:false Pmem_config.default ~size:65536
+
+let payload s = Bytes.of_string s
+
+let test_append_attach () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  let r1 = Plog.append t (payload "first") in
+  let r2 = Plog.append t (payload "second") in
+  check Alcotest.int "seq 0" 0 r1.Plog.seq;
+  check Alcotest.int "seq 1" 1 r2.Plog.seq;
+  Nvm.crash nvm;
+  let _, records = Plog.attach nvm ~base:0 ~size:4096 in
+  check Alcotest.int "both records survive" 2 (List.length records);
+  check Alcotest.bytes "payload 1" (payload "first") (List.nth records 0).Plog.payload;
+  check Alcotest.bytes "payload 2" (payload "second") (List.nth records 1).Plog.payload
+
+let test_torn_record_discarded () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  ignore (Plog.append t (payload "good"));
+  (* Write a record's bytes without persisting: only a random subset of its
+     lines may survive the crash — a torn record. *)
+  let start_tail = Plog.tail_off t in
+  ignore start_tail;
+  let frame = Bytes.make 40 'X' in
+  Nvm.store_bytes nvm (64 + (Plog.tail_off t mod 4032)) frame;
+  Nvm.crash ~evict_fraction:0.5 ~rng:(Rng.create 3) nvm;
+  let _, records = Plog.attach nvm ~base:0 ~size:4096 in
+  check Alcotest.int "only the sealed record survives" 1 (List.length records)
+
+let test_stale_records_not_resurrected () =
+  (* After recycling, old bytes remain in the ring; a re-attach must not
+     mistake them for live records (sequence numbers prevent it). *)
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  let r1 = Plog.append t (payload "will be recycled") in
+  let r2 = Plog.append t (payload "also recycled") in
+  ignore r1;
+  Plog.recycle_to t ~end_off:r2.Plog.end_off ~next_seq:2;
+  Nvm.crash nvm;
+  let t', records = Plog.attach nvm ~base:0 ~size:4096 in
+  check Alcotest.int "no stale records" 0 (List.length records);
+  check Alcotest.int "next seq continues" 2 (Plog.next_seq t')
+
+let test_wraparound () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:512 in
+  (* Repeatedly append and recycle so records straddle the ring boundary. *)
+  for i = 0 to 30 do
+    let p = payload (Printf.sprintf "record-%02d-%s" i (String.make 40 'p')) in
+    let r = Plog.append t p in
+    Plog.recycle_to t ~end_off:r.Plog.end_off ~next_seq:(r.Plog.seq + 1)
+  done;
+  let final = Plog.append t (payload "final") in
+  Nvm.crash nvm;
+  let _, records = Plog.attach nvm ~base:0 ~size:512 in
+  check Alcotest.int "final record recovered after many wraps" 1 (List.length records);
+  check Alcotest.int "final seq" final.Plog.seq (List.nth records 0).Plog.seq;
+  check Alcotest.bytes "final payload" (payload "final") (List.nth records 0).Plog.payload
+
+let test_free_space_accounting () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:1024 in
+  let cap = Plog.data_capacity t in
+  check Alcotest.int "initially empty" cap (Plog.free_space t);
+  let r = Plog.append t (payload "0123456789") in
+  check Alcotest.int "used = overhead + payload" (Plog.record_overhead + 10) (Plog.used_space t);
+  Plog.recycle_to t ~end_off:r.Plog.end_off ~next_seq:1;
+  check Alcotest.int "recycle frees space" cap (Plog.free_space t)
+
+let test_append_without_space_rejected () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:256 in
+  Alcotest.check_raises "oversized append rejected" (Invalid_argument "Plog.append: no space")
+    (fun () -> ignore (Plog.append t (Bytes.make 4096 'x')))
+
+let test_attach_bad_magic () =
+  let nvm = device () in
+  Alcotest.check_raises "unformatted region rejected" (Invalid_argument "Plog.attach: bad magic")
+    (fun () -> ignore (Plog.attach nvm ~base:0 ~size:4096))
+
+let test_crash_before_header_persist_keeps_old_head () =
+  (* recycle_to persists the header; a crash right after append but before
+     any recycle must re-expose all records. *)
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  for i = 1 to 5 do
+    ignore (Plog.append t (payload (string_of_int i)))
+  done;
+  Nvm.crash nvm;
+  let _, records = Plog.attach nvm ~base:0 ~size:4096 in
+  check Alcotest.int "all five records re-exposed" 5 (List.length records)
+
+let prop_random_appends_survive =
+  QCheck2.Test.make ~name:"plog: every sealed record survives any crash" ~count:150
+    QCheck2.Gen.(list_size (int_range 1 20) (string_size (int_range 0 80)))
+    (fun payloads ->
+      let nvm = device () in
+      let t = Plog.format nvm ~base:0 ~size:8192 in
+      let ok = ref true in
+      List.iter
+        (fun p ->
+          if Plog.free_space t >= Plog.record_overhead + String.length p then
+            ignore (Plog.append t (Bytes.of_string p)))
+        payloads;
+      Nvm.crash nvm;
+      let _, records = Plog.attach nvm ~base:0 ~size:8192 in
+      let expected =
+        let rec go space acc = function
+          | [] -> List.rev acc
+          | p :: rest ->
+            if space >= Plog.record_overhead + String.length p then
+              go (space - Plog.record_overhead - String.length p) (p :: acc) rest
+            else go space acc rest
+        in
+        go (8192 - Plog.header_size) [] payloads
+      in
+      if List.length records <> List.length expected then ok := false
+      else
+        List.iter2
+          (fun (r : Plog.record) p -> if Bytes.to_string r.Plog.payload <> p then ok := false)
+          records expected;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "append then attach" `Quick test_append_attach;
+    Alcotest.test_case "torn record discarded" `Quick test_torn_record_discarded;
+    Alcotest.test_case "stale records not resurrected" `Quick test_stale_records_not_resurrected;
+    Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+    Alcotest.test_case "free-space accounting" `Quick test_free_space_accounting;
+    Alcotest.test_case "append without space rejected" `Quick test_append_without_space_rejected;
+    Alcotest.test_case "attach requires formatted region" `Quick test_attach_bad_magic;
+    Alcotest.test_case "crash before recycle re-exposes records" `Quick
+      test_crash_before_header_persist_keeps_old_head;
+    QCheck_alcotest.to_alcotest prop_random_appends_survive;
+  ]

@@ -1,0 +1,202 @@
+(* Scheduler, RNG, resource and stats tests. *)
+
+module Sched = Dudetm_sim.Sched
+module Rng = Dudetm_sim.Rng
+module Resource = Dudetm_sim.Resource
+module Stats = Dudetm_sim.Stats
+module Cycles = Dudetm_sim.Cycles
+
+let check = Alcotest.check
+
+let test_single_thread_time () =
+  let total = Sched.run (fun () -> Sched.advance 1000) in
+  check Alcotest.int "advance accumulates" 1000 total
+
+let test_min_clock_order () =
+  (* Two threads with different step sizes must interleave in clock order. *)
+  let log = ref [] in
+  ignore
+    (Sched.run (fun () ->
+         ignore
+           (Sched.spawn "a" (fun () ->
+                for i = 1 to 3 do
+                  Sched.advance 10;
+                  log := ("a", i, Sched.now ()) :: !log
+                done));
+         ignore
+           (Sched.spawn "b" (fun () ->
+                for i = 1 to 2 do
+                  Sched.advance 25;
+                  log := ("b", i, Sched.now ()) :: !log
+                done))));
+  let times = List.rev_map (fun (_, _, t) -> t) !log in
+  check Alcotest.(list int) "events fire in time order" (List.sort compare times) times
+
+let test_wait_until_wakes () =
+  let flag = ref false in
+  let woke_at = ref 0 in
+  let total =
+    Sched.run (fun () ->
+        ignore
+          (Sched.spawn "waiter" (fun () ->
+               Sched.wait_until ~label:"flag" (fun () -> !flag);
+               woke_at := Sched.now ()));
+        ignore
+          (Sched.spawn "setter" (fun () ->
+               Sched.advance 500;
+               flag := true)))
+  in
+  check Alcotest.bool "waiter resumed after the setter" true (!woke_at >= 500);
+  check Alcotest.bool "simulation ended at waiter's clock" true (total >= 500)
+
+let test_deadlock_detected () =
+  Alcotest.check_raises "deadlock raises"
+    (Sched.Deadlock "1:stuck waiting on never")
+    (fun () ->
+      ignore
+        (Sched.run (fun () ->
+             ignore
+               (Sched.spawn "stuck" (fun () ->
+                    Sched.wait_until ~label:"never" (fun () -> false))))))
+
+let test_daemons_do_not_block_exit () =
+  let cleaned = ref false in
+  let total =
+    Sched.run (fun () ->
+        ignore
+          (Sched.spawn ~daemon:true "d" (fun () ->
+               try Sched.wait_until ~label:"forever" (fun () -> false)
+               with Sched.Killed -> cleaned := true));
+        Sched.advance 100)
+  in
+  check Alcotest.int "exit at main's clock" 100 total;
+  check Alcotest.bool "daemon saw Killed" true !cleaned
+
+let test_spawn_inherits_clock () =
+  let child_start = ref (-1) in
+  ignore
+    (Sched.run (fun () ->
+         Sched.advance 300;
+         ignore (Sched.spawn "child" (fun () -> child_start := Sched.now ()))));
+  check Alcotest.int "child starts at parent's clock" 300 !child_start
+
+let test_exception_propagates () =
+  Alcotest.check_raises "thread exception escapes run" Exit (fun () ->
+      ignore
+        (Sched.run (fun () ->
+             ignore (Sched.spawn "boom" (fun () -> raise Exit));
+             Sched.advance 10_000)))
+
+let test_determinism () =
+  let trace () =
+    let log = ref [] in
+    ignore
+      (Sched.run (fun () ->
+           for t = 0 to 2 do
+             ignore
+               (Sched.spawn (string_of_int t) (fun () ->
+                    let rng = Rng.create (t + 1) in
+                    for _ = 1 to 20 do
+                      Sched.advance (1 + Rng.int rng 50);
+                      log := (t, Sched.now ()) :: !log
+                    done))
+           done));
+    !log
+  in
+  check Alcotest.bool "two identical runs produce identical traces" true (trace () = trace ())
+
+let test_outside_run_fallbacks () =
+  Sched.advance 50 (* no-op *);
+  check Alcotest.int "now is 0 outside a run" 0 (Sched.now ());
+  check Alcotest.int "self is 0 outside a run" 0 (Sched.self ());
+  Sched.wait_until ~label:"true" (fun () -> true);
+  check Alcotest.bool "running is false" false (Sched.running ())
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 97 in
+    if v < 0 || v >= 97 then Alcotest.fail "Rng.int out of bounds"
+  done
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same seed, same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check Alcotest.bool "split streams differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "Rng.float out of range"
+  done
+
+let test_resource_serializes () =
+  let r = Resource.create ~cycles_per_byte:2.0 in
+  let c1 = Resource.transfer r ~now:0 ~bytes:100 ~latency:0 in
+  check Alcotest.int "first transfer takes bytes*cpb" 200 c1;
+  let c2 = Resource.transfer r ~now:0 ~bytes:100 ~latency:0 in
+  check Alcotest.int "second transfer queues behind the first" 400 c2;
+  check Alcotest.int "total bytes" 200 (Resource.total_bytes r)
+
+let test_resource_latency_overlaps () =
+  let r = Resource.create ~cycles_per_byte:1.0 in
+  let c1 = Resource.transfer r ~now:0 ~bytes:10 ~latency:1000 in
+  check Alcotest.int "latency dominates a small transfer" 1000 c1;
+  (* The channel is busy only 10 cycles, so a second transfer queues 10
+     cycles of bandwidth but its latency overlaps the first's. *)
+  let c2 = Resource.transfer r ~now:0 ~bytes:10 ~latency:1000 in
+  check Alcotest.int "latency overlaps across callers" 1010 c2
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.add s "a" 4;
+  check Alcotest.int "accumulates" 5 (Stats.get s "a");
+  check Alcotest.int "missing counter is 0" 0 (Stats.get s "zz");
+  Stats.reset s;
+  check Alcotest.int "reset clears" 0 (Stats.get s "a")
+
+let test_latency_percentiles () =
+  let r = Stats.Latency.create () in
+  for i = 1 to 100 do
+    Stats.Latency.record r i
+  done;
+  check Alcotest.int "p50" 50 (Stats.Latency.percentile r 50.0);
+  check Alcotest.int "p99" 99 (Stats.Latency.percentile r 99.0);
+  check Alcotest.int "p100" 100 (Stats.Latency.percentile r 100.0);
+  check (Alcotest.float 0.01) "mean" 50.5 (Stats.Latency.mean r)
+
+let test_cycles_conversions () =
+  check Alcotest.int "1 us at 3.4 GHz" 3400 (Cycles.of_ns 1000.0);
+  check (Alcotest.float 0.001) "3400 cycles is 1 us" 1.0 (Cycles.to_us 3400);
+  check Alcotest.bool "1 GB/s is ~3.4 cycles per byte" true
+    (abs_float (Cycles.per_byte_of_gbps 1.0 -. 3.4) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "single thread accumulates time" `Quick test_single_thread_time;
+    Alcotest.test_case "min-clock scheduling order" `Quick test_min_clock_order;
+    Alcotest.test_case "wait_until wakes on predicate" `Quick test_wait_until_wakes;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "daemons are cancelled at exit" `Quick test_daemons_do_not_block_exit;
+    Alcotest.test_case "spawn inherits parent clock" `Quick test_spawn_inherits_clock;
+    Alcotest.test_case "thread exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "simulation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "helpers degrade gracefully outside run" `Quick test_outside_run_fallbacks;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "resource serializes bandwidth" `Quick test_resource_serializes;
+    Alcotest.test_case "resource latency overlaps" `Quick test_resource_latency_overlaps;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
+    Alcotest.test_case "cycle conversions" `Quick test_cycles_conversions;
+  ]
