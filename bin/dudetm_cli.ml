@@ -161,6 +161,152 @@ let torture_cmd =
     (Cmd.info "torture" ~doc:"Randomized crash-point injection with recovery verification.")
     Term.(const run $ rounds $ verbose)
 
+(* ------------------------------- check -------------------------------- *)
+
+let check_cmd =
+  let open Dudetm_check in
+  let system =
+    Arg.(
+      value & opt string "all"
+      & info [ "s"; "system" ] ~docv:"SYSTEM"
+          ~doc:
+            (Printf.sprintf "System to check: all, or one of %s."
+               (String.concat ", " Check.sut_names)))
+  in
+  let workload =
+    Arg.(
+      value & opt string "all"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Checker workload: counter, overlap, counter1, or all.")
+  in
+  let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Worker threads.") in
+  let txs = Arg.(value & opt int 2 & info [ "txs" ] ~doc:"Transactions per thread.") in
+  let deep =
+    Arg.(value & flag & info [ "deep" ] ~doc:"Use the deep exploration budget.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Use the bounded tier-1 budget, ignoring DUDETM_CHECK_* environment knobs.")
+  in
+  let crash_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-budget" ]
+          ~doc:"Crash boundaries to explore under the default schedule (0 = budget default).")
+  in
+  let sched_seeds =
+    Arg.(
+      value & opt int (-1)
+      & info [ "sched-seeds" ] ~doc:"Random-preemption seeds to try (-1 = budget default).")
+  in
+  let mutate =
+    let faults =
+      [
+        ("none", Config.No_fault);
+        ("early-durable", Config.Early_durable_publish);
+        ("unfenced-reproduce", Config.Unfenced_reproduce);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum faults) Config.No_fault
+      & info [ "mutate" ] ~docv:"FAULT"
+          ~doc:
+            "Seed a deliberate ordering bug into DudeTM (checker self-validation): none, \
+             early-durable, or unfenced-reproduce.")
+  in
+  let sched =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Replay one exact case under this schedule (default, seed:N, or \
+             prefix:c0,c1,...) instead of exploring.")
+  in
+  let crash_at =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-at" ]
+          ~doc:"With --sched (or alone): cut power at this persist boundary (0 = none).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
+  let run system workload threads txs deep quick crash_budget sched_seeds fault sched
+      crash_at verbose =
+    match
+      let suts =
+        if system = "all" then List.map (fun n -> Check.sut_of_name ~fault n) Check.sut_names
+        else [ Check.sut_of_name ~fault system ]
+      in
+      let check_one sut =
+        let wls =
+          if workload = "all" then Check.workloads_for sut ~threads ~txs
+          else [ Check.workload_of_name ~threads ~txs workload ]
+        in
+        let replaying = sched <> None || crash_at > 0 in
+        if replaying then begin
+          let spec =
+            match sched with Some s -> Check.sched_of_string s | None -> Check.Default
+          in
+          let crash = if crash_at > 0 then Some crash_at else None in
+          List.fold_left
+            (fun acc wl ->
+              match Check.replay sut wl ~sched:spec ~crash with
+              | None ->
+                Printf.printf "%s/%s sched=%s crash=%d: PASS\n" sut.Check.sut_name
+                  wl.Check.wl_name (Check.sched_to_string spec) crash_at;
+                acc
+              | Some reason ->
+                Printf.printf "%s/%s sched=%s crash=%d: FAIL: %s\n" sut.Check.sut_name
+                  wl.Check.wl_name (Check.sched_to_string spec) crash_at reason;
+                1)
+            0 wls
+        end
+        else begin
+          let budget =
+            if deep then Check.deep_budget
+            else if quick then Check.quick_budget
+            else Check.tier1_budget ()
+          in
+          let budget =
+            {
+              budget with
+              Check.crash_sites =
+                (if crash_budget > 0 then crash_budget else budget.Check.crash_sites);
+              sched_seeds =
+                (if sched_seeds >= 0 then sched_seeds else budget.Check.sched_seeds);
+            }
+          in
+          let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
+          match Check.check_system ~budget ~log sut wls with
+          | Check.Pass { runs; sites } ->
+            Printf.printf "%s: PASS (%d runs, %d crash boundaries covered)\n%!"
+              sut.Check.sut_name runs sites;
+            0
+          | Check.Fail f ->
+            Printf.printf "%s: FAIL: %s\n  replay: %s\n%!" sut.Check.sut_name
+              f.Check.f_reason (Check.replay_line f);
+            1
+        end
+      in
+      List.fold_left (fun acc sut -> acc + check_one sut) 0 suts
+    with
+    | 0 -> `Ok ()
+    | _ -> `Error (false, "consistency check failed")
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Systematic crash-consistency checking: enumerate power cuts at every persist \
+          boundary and explore thread schedules, verifying recovery against a state-machine \
+          oracle.")
+    Term.(
+      ret
+        (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
+       $ sched_seeds $ mutate $ sched $ crash_at $ verbose))
+
 (* ------------------------------ layout -------------------------------- *)
 
 let layout_cmd =
@@ -184,4 +330,5 @@ let layout_cmd =
 
 let () =
   let doc = "DudeTM: decoupled durable transactions for persistent memory (simulated)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dudetm" ~doc) [ run_cmd; torture_cmd; layout_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group (Cmd.info "dudetm" ~doc) [ run_cmd; torture_cmd; check_cmd; layout_cmd ]))

@@ -44,9 +44,25 @@ type t = {
   allocator : Alloc.t;
   log_cursor : int array;  (* bytes used in each thread's log region *)
   dirty_data : (int, unit) Hashtbl.t;  (* heap words updated since last truncation *)
+  (* The version clock advances when a commit {e starts} (so concurrent
+     committers draw distinct versions), but a transaction is only durable
+     once its record's commit mark is sealed.  [durable] is the largest
+     version with every version at or below it sealed — reporting the raw
+     clock instead loses acknowledged transactions when a crash lands
+     between the clock bump and the seal (found by the systematic crash
+     checker, lib/check). *)
+  mutable durable : int;
+  sealed : (int, unit) Hashtbl.t;  (* versions sealed but > durable *)
   stats : Stats.t;
   rng : Rng.t;
 }
+
+let note_sealed t wv =
+  Hashtbl.replace t.sealed wv ();
+  while Hashtbl.mem t.sealed (t.durable + 1) do
+    Hashtbl.remove t.sealed (t.durable + 1);
+    t.durable <- t.durable + 1
+  done
 
 type mtx = {
   m : t;
@@ -74,6 +90,8 @@ let create cfg =
     allocator = Alloc.create ~base:cfg.root_size ~size:(cfg.heap_size - cfg.root_size);
     log_cursor = Array.make cfg.nthreads 0;
     dirty_data = Hashtbl.create 4096;
+    durable = 0;
+    sealed = Hashtbl.create 64;
     stats = Stats.create ();
     rng = Rng.create cfg.seed;
   }
@@ -159,7 +177,25 @@ let commit tx =
           Lock_table.release_to t.locks ~stripe ~version:(version_of prev))
         !acquired
     in
-    if (not ok) || not (validate tx) then begin
+    (* Commit-time validation must see through our own locks: acquisition
+       replaced each stripe's version word with an ownership mark, so a
+       read of a now-owned stripe is checked against the version saved at
+       acquisition.  Trusting ownership alone would let a transaction that
+       read a stripe, lost a race to a conflicting committer, then locked
+       the stripe itself validate a stale read — a lost update (found by
+       the schedule explorer, lib/check). *)
+    let validate_locked () =
+      List.for_all
+        (fun (stripe, v) ->
+          match List.assoc_opt stripe !acquired with
+          | Some prev -> prev = v
+          | None -> (
+            match Lock_table.read_word t.locks stripe with
+            | Lock_table.Version cur -> cur = v
+            | Lock_table.Owned uid -> uid = tx.uid))
+        tx.reads
+    in
+    if (not ok) || not (validate_locked ()) then begin
       release_all (fun prev -> prev);
       conflict tx
     end;
@@ -176,7 +212,11 @@ let commit tx =
        recovery scan before it can reach stale records from a previous lap
        of the region. *)
     let buf = Bytes.create (record_bytes + 8) in
-    Bytes.set_int64_le buf 0 (Int64.of_int wv);
+    (* Unsealed header: the version shifted left, commit bit clear — the
+       same encoding the seal completes by setting bit 0.  Writing the raw
+       version here would leave odd versions looking sealed, so a crash
+       mid-record-persist could replay a torn transaction. *)
+    Bytes.set_int64_le buf 0 (Int64.of_int (wv lsl 1));
     Bytes.set_int64_le buf 8 (Int64.of_int n);
     List.iteri
       (fun i addr ->
@@ -191,6 +231,7 @@ let commit tx =
        write, so a torn record is never replayed. *)
     Nvm.store_u64 t.nvm off (Int64.of_int ((wv lsl 1) lor 1));
     Nvm.persist t.nvm ~off ~len:8;
+    note_sealed t wv;
     t.log_cursor.(tx.thread) <- t.log_cursor.(tx.thread) + record_bytes;
     (* CLFLUSH invalidated the freshly written log lines: charge the
        refill penalty. *)
@@ -274,7 +315,7 @@ let ptm_of ?(name = "Mnemosyne") t =
     root_base = 0;
     atomically;
     peek = Nvm.load_u64 t.nvm;
-    durable_id = (fun () -> t.clock);
+    durable_id = (fun () -> t.durable);
     last_tid = (fun () -> t.clock);
     start = (fun () -> ());
     drain = (fun () -> ());
@@ -337,5 +378,11 @@ let recover t =
     Nvm.persist t.nvm ~off:(log_base t thread) ~len:8;
     t.log_cursor.(thread) <- 0
   done;
-  (match sorted with [] -> () | l -> t.clock <- max t.clock (fst (List.hd (List.rev l))));
+  Hashtbl.reset t.sealed;
+  (match sorted with
+  | [] -> ()
+  | l ->
+    let top = fst (List.hd (List.rev l)) in
+    t.clock <- max t.clock top;
+    t.durable <- max t.durable top);
   List.length sorted

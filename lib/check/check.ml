@@ -1,0 +1,650 @@
+module Nvm = Dudetm_nvm.Nvm
+module Sched = Dudetm_sim.Sched
+module Config = Dudetm_core.Config
+module Dudetm = Dudetm_core.Dudetm
+module Ptm = Dudetm_baselines.Ptm_intf
+module Dude_ptm = Dudetm_baselines.Dude_ptm
+module Mnemosyne = Dudetm_baselines.Mnemosyne
+module Nvml = Dudetm_baselines.Nvml
+
+exception Crash_now
+
+(* ------------------------------------------------------------------ *)
+(* Systems under test                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type recovered = { rec_durable : int option; rec_peek : int -> int64 }
+
+type instance = {
+  ptm : Ptm.t;
+  inst_nvm : Nvm.t;
+  recover : unit -> recovered;
+}
+
+type sut = { sut_name : string; sut_static : bool; fresh : unit -> instance }
+
+(* Small layouts keep a single checked run in the low milliseconds: the
+   budgets below run hundreds of them. *)
+let dude_cfg ~combine ~fault =
+  {
+    Config.default with
+    Config.heap_size = 1 lsl 16;
+    root_size = 4096;
+    nthreads = 3;
+    vlog_capacity = 256;
+    plog_size = 1 lsl 13;
+    meta_size = 8192;
+    group_size = (if combine then 2 else 1);
+    combine;
+    compress = combine;
+    persist_threads = 1;
+    reproduce_batch = 4;
+    (* checkpoint early and often: ring recycling is where Reproduce
+       ordering bugs become observable *)
+    checkpoint_records = 2;
+    seed = 7;
+    fault;
+  }
+
+let fault_suffix = function
+  | Config.No_fault -> ""
+  | Config.Early_durable_publish -> "+early-durable"
+  | Config.Unfenced_reproduce -> "+unfenced-reproduce"
+
+let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
+  let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
+  let fresh () =
+    let p, _t = ptm_of_cfg cfg in
+    let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+    {
+      ptm = p;
+      inst_nvm = nvm;
+      recover =
+        (fun () ->
+          let p2, _t2, report = attach_of_cfg cfg nvm in
+          { rec_durable = Some report.Dudetm.durable; rec_peek = p2.Ptm.peek });
+    }
+  in
+  { sut_name = name ^ fault_suffix fault; sut_static = false; fresh }
+
+let stm_ctor = ((fun cfg -> Dude_ptm.Stm.ptm cfg), fun cfg nvm -> Dude_ptm.Stm.attach_ptm cfg nvm)
+
+let htm_ctor =
+  ((fun cfg -> Dude_ptm.Htm_based.ptm cfg), fun cfg nvm -> Dude_ptm.Htm_based.attach_ptm cfg nvm)
+
+let dude ?fault () = dude_like "dude" stm_ctor ?fault ()
+
+let dude_combine ?fault () = dude_like "dude-combine" stm_ctor ?fault ()
+
+let dude_htm () = dude_like "dude-htm" htm_ctor ()
+
+let mnemosyne () =
+  let cfg =
+    {
+      Mnemosyne.default_config with
+      Mnemosyne.heap_size = 1 lsl 16;
+      nthreads = 3;
+      log_size = 1 lsl 13;
+      seed = 7;
+    }
+  in
+  let fresh () =
+    let m = Mnemosyne.create cfg in
+    let p = Mnemosyne.ptm_of m in
+    {
+      ptm = p;
+      inst_nvm = Mnemosyne.nvm m;
+      recover =
+        (fun () ->
+          ignore (Mnemosyne.recover m);
+          { rec_durable = None; rec_peek = p.Ptm.peek });
+    }
+  in
+  { sut_name = "mnemosyne"; sut_static = false; fresh }
+
+let nvml () =
+  let cfg =
+    {
+      Nvml.default_config with
+      Nvml.heap_size = 1 lsl 16;
+      nthreads = 3;
+      log_size = 1 lsl 13;
+      seed = 7;
+    }
+  in
+  let fresh () =
+    let n = Nvml.create cfg in
+    let p = Nvml.ptm_of n in
+    {
+      ptm = p;
+      inst_nvm = Nvml.nvm n;
+      recover =
+        (fun () ->
+          ignore (Nvml.recover n);
+          { rec_durable = None; rec_peek = p.Ptm.peek });
+    }
+  in
+  { sut_name = "nvml"; sut_static = true; fresh }
+
+let sut_names = [ "dude"; "dude-combine"; "dude-htm"; "mnemosyne"; "nvml" ]
+
+let sut_of_name ?fault name =
+  match name with
+  | "dude" -> dude ?fault ()
+  | "dude-combine" -> dude_combine ?fault ()
+  | "dude-htm" -> dude_htm ()
+  | "mnemosyne" -> mnemosyne ()
+  | "nvml" -> nvml ()
+  | s -> invalid_arg ("Check.sut_of_name: unknown system " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  wl_name : string;
+  threads : int;
+  txs_per_thread : int;
+  wl_static : bool;
+  wl_wset : int list option;
+  tx_body : Ptm.tx -> unit;
+  wl_root : int;
+  check_state : peek:(int -> int64) -> k:int -> string option;
+}
+
+(* Counter family: transaction number i (in serialization order) always
+   writes the root counter to i, so the whole durable state is a function
+   of the recovered counter alone — which transaction ran on which thread
+   never matters. *)
+let slot_addr j = 8 + (8 * j)
+
+let slot_check ~slots ~stamp ~peek ~k =
+  let expect = Array.make slots 0 in
+  for i = 1 to k do
+    List.iter (fun j -> expect.(j) <- i) (stamp i)
+  done;
+  let bad = ref None in
+  for j = slots - 1 downto 0 do
+    let got = Int64.to_int (peek (slot_addr j)) in
+    if got <> expect.(j) then
+      bad :=
+        Some
+          (Printf.sprintf "slot %d holds %d, model says %d after %d commits" j got expect.(j) k)
+  done;
+  !bad
+
+let counter_family name ~slots ~stamp ~threads ~txs =
+  {
+    wl_name = name;
+    threads;
+    txs_per_thread = txs;
+    wl_static = false;
+    wl_wset = None;
+    tx_body =
+      (fun tx ->
+        let c1 = 1 + Int64.to_int (tx.Ptm.read 0) in
+        List.iter (fun j -> tx.Ptm.write (slot_addr j) (Int64.of_int c1)) (stamp c1);
+        tx.Ptm.write 0 (Int64.of_int c1));
+    wl_root = 0;
+    check_state = (fun ~peek ~k -> slot_check ~slots ~stamp ~peek ~k);
+  }
+
+let counter ~threads ~txs =
+  let slots = 8 in
+  counter_family "counter" ~slots ~stamp:(fun i -> [ i mod slots ]) ~threads ~txs
+
+let overlap ~threads ~txs =
+  let slots = 5 in
+  counter_family "overlap" ~slots
+    ~stamp:(fun i -> [ i mod slots; (i + 1) mod slots ])
+    ~threads ~txs
+
+let counter1 ~threads ~txs =
+  {
+    wl_name = "counter1";
+    threads;
+    txs_per_thread = txs;
+    wl_static = true;
+    wl_wset = Some [ 0 ];
+    tx_body =
+      (fun tx ->
+        let c1 = 1 + Int64.to_int (tx.Ptm.read 0) in
+        tx.Ptm.write 0 (Int64.of_int c1));
+    wl_root = 0;
+    check_state = (fun ~peek:_ ~k:_ -> None);
+  }
+
+let workload_of_name ~threads ~txs = function
+  | "counter" -> counter ~threads ~txs
+  | "overlap" -> overlap ~threads ~txs
+  | "counter1" -> counter1 ~threads ~txs
+  | s -> invalid_arg ("Check.workload_of_name: unknown workload " ^ s)
+
+let workloads_for sut ~threads ~txs =
+  if sut.sut_static then [ counter1 ~threads ~txs ]
+  else [ counter ~threads ~txs; overlap ~threads ~txs ]
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type budget = {
+  crash_sites : int;
+  sched_seeds : int;
+  crash_sites_per_seed : int;
+  exhaustive_runs : int;
+  exhaustive_depth : int;
+}
+
+let base_budget =
+  {
+    crash_sites = 40;
+    sched_seeds = 3;
+    crash_sites_per_seed = 8;
+    exhaustive_runs = 24;
+    exhaustive_depth = 6;
+  }
+
+let deep_budget =
+  {
+    crash_sites = 400;
+    sched_seeds = 12;
+    crash_sites_per_seed = 40;
+    exhaustive_runs = 300;
+    exhaustive_depth = 10;
+  }
+
+let quick_budget = base_budget
+
+let tier1_budget () =
+  if Sys.getenv_opt "DUDETM_CHECK_DEEP" = Some "1" then deep_budget
+  else
+    match Option.bind (Sys.getenv_opt "DUDETM_CHECK_BUDGET") int_of_string_opt with
+    | Some m when m > 1 ->
+      {
+        crash_sites = base_budget.crash_sites * m;
+        sched_seeds = base_budget.sched_seeds;
+        crash_sites_per_seed = base_budget.crash_sites_per_seed * m;
+        exhaustive_runs = base_budget.exhaustive_runs * m;
+        exhaustive_depth = base_budget.exhaustive_depth + 2;
+      }
+    | _ -> base_budget
+
+(* ------------------------------------------------------------------ *)
+(* One checked run                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type sched_spec = Default | Seed of int | Prefix of int list
+
+let sched_to_string = function
+  | Default -> "default"
+  | Seed n -> Printf.sprintf "seed:%d" n
+  | Prefix l -> "prefix:" ^ String.concat "," (List.map string_of_int l)
+
+let sched_of_string s =
+  let bad () = invalid_arg ("Check.sched_of_string: " ^ s) in
+  if s = "default" then Default
+  else
+    match String.index_opt s ':' with
+    | None -> bad ()
+    | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "seed" -> ( match int_of_string_opt rest with Some n -> Seed n | None -> bad ())
+      | "prefix" ->
+        if rest = "" then Prefix []
+        else
+          Prefix
+            (List.map
+               (fun c -> match int_of_string_opt c with Some n -> n | None -> bad ())
+               (String.split_on_char ',' rest))
+      | _ -> bad ())
+
+let strategy_of = function
+  | Default -> Sched.min_clock
+  | Seed n -> Sched.random_priority ~seed:n
+  | Prefix l ->
+    let arr = Array.of_list l in
+    Sched.Choice
+      (fun ~step ~candidates:_ -> if step < Array.length arr then arr.(step) else 0)
+
+type outcome = {
+  oc_sites : int;
+  oc_crashed : bool;
+  oc_deadlock : string option;
+  oc_committed : int;
+  oc_acked : int;
+  oc_last_tid : int;
+  oc_monitor : string option;
+  oc_recov : recovered;
+}
+
+(* Run the workload once under [strategy].  [crash = Some k] cuts power at
+   the [k]-th persist boundary; [crash = None] runs to quiescence.  Either
+   way the device then loses all volatile state and the system recovers. *)
+let run_once ~sut ~wl ~strategy ~crash =
+  let inst = sut.fresh () in
+  let p = inst.ptm in
+  let sites = ref 0 in
+  let crashed = ref false in
+  let acked = ref 0 in
+  let monitor_err = ref None in
+  let committed = ref 0 in
+  let main () =
+    (* Installed only now: device formatting during [fresh] happens before
+       any transaction exists, so its persists are not crash candidates. *)
+    Nvm.set_persist_hook inst.inst_nvm
+      (Some
+         (fun () ->
+           incr sites;
+           (* Sampling the durable ID at the boundary captures exactly what
+              was acknowledged when the power goes out. *)
+           let d = p.Ptm.durable_id () in
+           if d > !acked then acked := d;
+           match crash with Some k when !sites = k -> raise Crash_now | _ -> ()));
+    p.Ptm.start ();
+    let last_d = ref 0 in
+    ignore
+      (Sched.spawn ~daemon:true "check-monitor" (fun () ->
+           try
+             while true do
+               let d = p.Ptm.durable_id () in
+               let l = p.Ptm.last_tid () in
+               if d < !last_d && !monitor_err = None then
+                 monitor_err :=
+                   Some (Printf.sprintf "durable id regressed from %d to %d" !last_d d);
+               if d > l && !monitor_err = None then
+                 monitor_err :=
+                   Some (Printf.sprintf "durable id %d ahead of last issued tid %d" d l);
+               if d > !last_d then last_d := d;
+               if d > !acked then acked := d;
+               Sched.advance 100
+             done
+           with Sched.Killed -> ()));
+    let done_workers = ref 0 in
+    for th = 0 to wl.threads - 1 do
+      ignore
+        (Sched.spawn (Printf.sprintf "check-worker-%d" th) (fun () ->
+             for _ = 1 to wl.txs_per_thread do
+               match p.Ptm.atomically ~thread:th ?wset:wl.wl_wset wl.tx_body with
+               | Some ((), tid) -> if tid > 0 then incr committed
+               | None -> ()
+             done;
+             incr done_workers))
+    done;
+    Sched.wait_until ~label:"check workers done" (fun () -> !done_workers = wl.threads);
+    p.Ptm.drain ();
+    p.Ptm.stop ()
+  in
+  let deadlock = ref None in
+  (try ignore (Sched.run ~strategy main) with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> deadlock := Some ("deadlock: " ^ msg)
+  | e -> deadlock := Some ("engine raised " ^ Printexc.to_string e));
+  (* Nothing ran since the cut, so this still reads the pre-crash value. *)
+  let d = p.Ptm.durable_id () in
+  if d > !acked then acked := d;
+  let last_tid = p.Ptm.last_tid () in
+  Nvm.set_persist_hook inst.inst_nvm None;
+  Nvm.crash inst.inst_nvm;
+  let recov =
+    try inst.recover ()
+    with e ->
+      deadlock := Some ("recovery raised " ^ Printexc.to_string e);
+      { rec_durable = None; rec_peek = (fun _ -> 0L) }
+  in
+  {
+    oc_sites = !sites;
+    oc_crashed = !crashed;
+    oc_deadlock = !deadlock;
+    oc_committed = !committed;
+    oc_acked = !acked;
+    oc_last_tid = last_tid;
+    oc_monitor = !monitor_err;
+    oc_recov = recov;
+  }
+
+let verify ~wl ~quiescent (o : outcome) =
+  match o.oc_deadlock with
+  | Some m -> Some m
+  | None -> (
+    match o.oc_monitor with
+    | Some m -> Some m
+    | None -> (
+      let peek = o.oc_recov.rec_peek in
+      let k = Int64.to_int (peek wl.wl_root) in
+      if k < 0 then Some (Printf.sprintf "recovered counter is negative: %d" k)
+        (* A transaction can be mid-acknowledgment per thread, so the
+           recovered counter may exceed the last *observed* issued ID by at
+           most the thread count. *)
+      else if k > o.oc_last_tid + wl.threads then
+        Some
+          (Printf.sprintf "recovered counter %d beyond issued ids (last tid %d)" k
+             o.oc_last_tid)
+      else if k < o.oc_acked then
+        Some
+          (Printf.sprintf
+             "durability lost: durable id %d was acknowledged, recovery found only %d"
+             o.oc_acked k)
+      else
+        match o.oc_recov.rec_durable with
+        | Some d when d <> k ->
+          Some
+            (Printf.sprintf "recovery reports durable id %d but the data image shows %d" d k)
+        | _ ->
+          if quiescent && k <> o.oc_committed then
+            Some
+              (Printf.sprintf "quiescent crash lost transactions: committed %d, recovered %d"
+                 o.oc_committed k)
+          else wl.check_state ~peek ~k))
+
+let run_and_verify ~sut ~wl ~spec ~crash =
+  let o = run_once ~sut ~wl ~strategy:(strategy_of spec) ~crash in
+  (verify ~wl ~quiescent:(crash = None) o, o)
+
+let replay sut wl ~sched ~crash = fst (run_and_verify ~sut ~wl ~spec:sched ~crash)
+
+let count_sites sut wl ~sched =
+  (run_once ~sut ~wl ~strategy:(strategy_of sched) ~crash:None).oc_sites
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_system : string;
+  f_workload : string;
+  f_threads : int;
+  f_txs : int;
+  f_sched : sched_spec;
+  f_crash : int option;
+  f_reason : string;
+}
+
+type report = Pass of { runs : int; sites : int } | Fail of failure
+
+let replay_line f =
+  (* "dude+early-durable" round-trips as --system dude --mutate early-durable *)
+  let system, mutate =
+    match String.index_opt f.f_system '+' with
+    | None -> (f.f_system, "")
+    | Some i ->
+      ( String.sub f.f_system 0 i,
+        " --mutate " ^ String.sub f.f_system (i + 1) (String.length f.f_system - i - 1) )
+  in
+  Printf.sprintf "dudetm check --system %s%s --workload %s --threads %d --txs %d --sched %s%s"
+    system mutate f.f_workload f.f_threads f.f_txs (sched_to_string f.f_sched)
+    (match f.f_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+(* Up to [n] boundaries out of [1..s], always covering both ends. *)
+let sample_sites ~s ~n =
+  if s <= 0 then []
+  else if s <= n then List.init s (fun i -> i + 1)
+  else
+    List.sort_uniq compare (List.init n (fun i -> 1 + (i * (s - 1) / (n - 1))))
+
+(* First failing case under one schedule: the quiescent run first (it also
+   counts boundaries), then crash boundaries in ascending order. *)
+let first_failing ~sut ~wl ~spec ~max_sites ~sample ~runs ~sites_total =
+  incr runs;
+  let err0, o0 = run_and_verify ~sut ~wl ~spec ~crash:None in
+  sites_total := !sites_total + o0.oc_sites;
+  match err0 with
+  | Some r -> Some (None, r)
+  | None ->
+    let site_list =
+      if sample then sample_sites ~s:o0.oc_sites ~n:max_sites
+      else List.init (min o0.oc_sites max_sites) (fun i -> i + 1)
+    in
+    List.fold_left
+      (fun found k ->
+        match found with
+        | Some _ -> found
+        | None -> (
+          incr runs;
+          match replay sut wl ~sched:spec ~crash:(Some k) with
+          | Some r -> Some (Some k, r)
+          | None -> None))
+      None site_list
+
+let shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total =
+  let scan = 120 in
+  let best = ref (wl, spec, crash, reason) in
+  (* A default-schedule reproduction beats any seed. *)
+  (if spec <> Default then
+     match first_failing ~sut ~wl ~spec:Default ~max_sites:scan ~sample:false ~runs ~sites_total with
+     | Some (c, r) -> best := (wl, Default, c, r)
+     | None -> ());
+  (* Fewest transactions per thread. *)
+  let bwl, bspec, _, _ = !best in
+  (try
+     for txs = 1 to bwl.txs_per_thread - 1 do
+       let wl' = { bwl with txs_per_thread = txs } in
+       match first_failing ~sut ~wl:wl' ~spec:bspec ~max_sites:scan ~sample:false ~runs ~sites_total with
+       | Some (c, r) ->
+         best := (wl', bspec, c, r);
+         raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  (* Earliest failing crash boundary (ascending scans above already are). *)
+  let bwl, bspec, bcrash, _ = !best in
+  (match bcrash with
+  | Some k when k > 1 ->
+    (try
+       for k' = 1 to min (k - 1) scan do
+         incr runs;
+         match replay sut bwl ~sched:bspec ~crash:(Some k') with
+         | Some r ->
+           best := (bwl, bspec, Some k', r);
+           raise Exit
+         | None -> ()
+       done
+     with Exit -> ())
+  | _ -> ());
+  !best
+
+let fail_of ~sut (wl, spec, crash, reason) =
+  {
+    f_system = sut.sut_name;
+    f_workload = wl.wl_name;
+    f_threads = wl.threads;
+    f_txs = wl.txs_per_thread;
+    f_sched = spec;
+    f_crash = crash;
+    f_reason = reason;
+  }
+
+let take n l =
+  let rec go n = function x :: tl when n > 0 -> x :: go (n - 1) tl | _ -> [] in
+  go n l
+
+(* Bounded exhaustive DFS over the first [exhaustive_depth] scheduling
+   decision points.  Every explored schedule runs to quiescence and then
+   loses power, so the oracle additionally proves no committed transaction
+   is lost under any of these interleavings. *)
+let explore ~sut ~wl ~budget ~runs ~sites_total =
+  let stack = ref [ [] ] in
+  let count = ref 0 in
+  let result = ref None in
+  while !stack <> [] && !count < budget.exhaustive_runs && !result = None do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+      stack := rest;
+      incr count;
+      incr runs;
+      let arr = Array.of_list prefix in
+      let dlog = ref [] in
+      let strategy =
+        Sched.Choice
+          (fun ~step ~candidates ->
+            let c = if step < Array.length arr then arr.(step) else 0 in
+            if step < budget.exhaustive_depth then dlog := (step, candidates, c) :: !dlog;
+            c)
+      in
+      let o = run_once ~sut ~wl ~strategy ~crash:None in
+      sites_total := !sites_total + o.oc_sites;
+      (match verify ~wl ~quiescent:true o with
+      | Some r -> result := Some (wl, Prefix prefix, None, r)
+      | None ->
+        let taken = List.sort compare !dlog in
+        let chosen = List.map (fun (_, _, c) -> c) taken in
+        let plen = List.length prefix in
+        List.iter
+          (fun (step, candidates, _) ->
+            if step >= plen then
+              for c = candidates - 1 downto 1 do
+                stack := (take step chosen @ [ c ]) :: !stack
+              done)
+          taken)
+  done;
+  !result
+
+let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
+  let runs = ref 0 in
+  let sites_total = ref 0 in
+  let failure = ref None in
+  let note wl what = log (Printf.sprintf "%s/%s: %s" sut.sut_name wl.wl_name what) in
+  List.iter
+    (fun wl ->
+      if !failure = None then begin
+        note wl
+          (Printf.sprintf "crash sweep, default schedule (up to %d boundaries)"
+             budget.crash_sites);
+        (match
+           first_failing ~sut ~wl ~spec:Default ~max_sites:budget.crash_sites ~sample:true
+             ~runs ~sites_total
+         with
+        | Some (c, r) -> failure := Some (wl, Default, c, r)
+        | None ->
+          (try
+             for seed = 1 to budget.sched_seeds do
+               note wl (Printf.sprintf "crash sweep, random schedule seed %d" seed);
+               match
+                 first_failing ~sut ~wl ~spec:(Seed seed)
+                   ~max_sites:budget.crash_sites_per_seed ~sample:true ~runs ~sites_total
+               with
+               | Some (c, r) ->
+                 failure := Some (wl, Seed seed, c, r);
+                 raise Exit
+               | None -> ()
+             done
+           with Exit -> ());
+          if !failure = None then begin
+            note wl
+              (Printf.sprintf "exhaustive schedule exploration (%d runs, depth %d)"
+                 budget.exhaustive_runs budget.exhaustive_depth);
+            match explore ~sut ~wl ~budget ~runs ~sites_total with
+            | Some (wl', spec, c, r) -> failure := Some (wl', spec, c, r)
+            | None -> ()
+          end)
+      end)
+    wls;
+  match !failure with
+  | None -> Pass { runs = !runs; sites = !sites_total }
+  | Some (wl, spec, crash, reason) ->
+    note wl (Printf.sprintf "FAILED (%s); shrinking" reason);
+    let shrunk = shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total in
+    Fail (fail_of ~sut shrunk)

@@ -1,0 +1,180 @@
+(** Systematic crash-consistency and schedule exploration.
+
+    The checker runs any {!Dudetm_baselines.Ptm_intf.t} system (DudeTM in
+    its variants, Mnemosyne, NVML) against small {e counter-family}
+    workloads whose entire durable state is a deterministic function of the
+    recovered commit counter, then tries to break the system two ways:
+
+    - {b Crash enumeration}: the simulated NVM fires a hook at every
+      persist boundary — once when a persist ordering is issued and once
+      after each cache line reaches the persisted image (see
+      {!Dudetm_nvm.Nvm.set_persist_hook}).  A first run counts the
+      boundaries; subsequent runs cut power at chosen boundaries, so
+      crashes land between any two line flushes (torn persists included),
+      recover, and check the oracle.
+    - {b Schedule exploration}: the scheduler's strategy interface
+      ({!Dudetm_sim.Sched.strategy}) is driven either by seeded random
+      preemption or by a bounded exhaustive DFS over the first scheduling
+      decision points, each explored schedule ending in a full-power-loss
+      crash after quiescence.
+
+    The oracle checks, after every recovery:
+    - {b atomicity}: the recovered state equals the model state for {e some}
+      commit prefix [k] (no torn transaction is ever visible);
+    - {b durability of acknowledged transactions}: [k] covers every
+      durable ID the system ever reported before the crash;
+    - {b durable-ID sanity}: the reported durable ID never regresses and
+      never passes the last issued transaction ID (sampled by a monitor
+      thread during the run);
+    - {b recovery agreement}: when the system reports a recovered durable
+      ID (DudeTM's attach), it matches the recovered state;
+    - {b no loss at quiescence}: a crash after [drain] recovers every
+      committed transaction.
+
+    Torn log records are covered implicitly: a recovery that accepts one
+    replays garbage and fails the atomicity check.
+
+    Failures are shrunk to a minimal [(workload, schedule, crash point)]
+    triple and printed as a replayable [dudetm check ...] one-liner. *)
+
+exception Crash_now
+(** Raised from the persist hook to cut power at an exact boundary. *)
+
+(** {1 Systems under test} *)
+
+type recovered = {
+  rec_durable : int option;
+      (** durable ID the system's own recovery reports; [None] when the
+          system has no recovery-time durable ID *)
+  rec_peek : int -> int64;  (** read the recovered data image *)
+}
+
+type instance = {
+  ptm : Dudetm_baselines.Ptm_intf.t;
+  inst_nvm : Dudetm_nvm.Nvm.t;
+  recover : unit -> recovered;
+      (** called once, after {!Dudetm_nvm.Nvm.crash}, with the hook
+          cleared *)
+}
+
+type sut = {
+  sut_name : string;
+  sut_static : bool;  (** only static-transaction workloads apply *)
+  fresh : unit -> instance;  (** a brand-new system on a fresh device *)
+}
+
+val dude : ?fault:Dudetm_core.Config.fault -> unit -> sut
+(** DudeTM over the software TM.  [fault] seeds a deliberate ordering bug
+    (see {!Dudetm_core.Config.fault}) for checker self-validation. *)
+
+val dude_combine : ?fault:Dudetm_core.Config.fault -> unit -> sut
+(** DudeTM with cross-transaction combination and compression. *)
+
+val dude_htm : unit -> sut
+(** DudeTM over the simulated HTM (with global-lock fallback). *)
+
+val mnemosyne : unit -> sut
+
+val nvml : unit -> sut
+
+val sut_of_name : ?fault:Dudetm_core.Config.fault -> string -> sut
+(** ["dude" | "dude-combine" | "dude-htm" | "mnemosyne" | "nvml"]; raises
+    [Invalid_argument] otherwise.  [fault] only applies to DudeTM. *)
+
+val sut_names : string list
+
+(** {1 Workloads} *)
+
+type workload = {
+  wl_name : string;
+  threads : int;
+  txs_per_thread : int;
+  wl_static : bool;  (** write set is declarable up front *)
+  wl_wset : int list option;  (** declared write set for static systems *)
+  tx_body : Dudetm_baselines.Ptm_intf.tx -> unit;
+  wl_root : int;  (** address of the commit counter *)
+  check_state : peek:(int -> int64) -> k:int -> string option;
+      (** [None] when the image is exactly the model state after [k]
+          commits; [Some reason] otherwise *)
+}
+
+val counter : threads:int -> txs:int -> workload
+(** Each transaction reads the root counter [c], stamps slot
+    [(c+1) mod slots] with [c+1] and writes the root back — the state after
+    [k] commits depends only on [k]. *)
+
+val overlap : threads:int -> txs:int -> workload
+(** Adversarial variant: every transaction stamps {e two} overlapping
+    slots, so consecutive transactions write intersecting sets. *)
+
+val counter1 : threads:int -> txs:int -> workload
+(** Single-cell counter with declared write set [[root]] — the only
+    workload expressible as a static transaction (NVML). *)
+
+val workload_of_name : threads:int -> txs:int -> string -> workload
+(** ["counter" | "overlap" | "counter1"]. *)
+
+val workloads_for : sut -> threads:int -> txs:int -> workload list
+(** The workloads applicable to a system (static systems only get
+    {!counter1}). *)
+
+(** {1 Budgets} *)
+
+type budget = {
+  crash_sites : int;  (** crash boundaries explored under the default schedule *)
+  sched_seeds : int;  (** random-preemption seeds *)
+  crash_sites_per_seed : int;
+  exhaustive_runs : int;  (** bounded-DFS schedule explorations *)
+  exhaustive_depth : int;  (** decision points eligible for branching *)
+}
+
+val tier1_budget : unit -> budget
+(** The bounded budget used by [dune runtest].  Environment knobs:
+    [DUDETM_CHECK_BUDGET=n] multiplies the exploration counts by [n];
+    [DUDETM_CHECK_DEEP=1] switches to {!deep_budget}. *)
+
+val deep_budget : budget
+(** The budget behind [dudetm check --deep]. *)
+
+val quick_budget : budget
+(** The bounded tier-1 numbers with environment knobs ignored
+    ([dudetm check --quick]). *)
+
+(** {1 Checking} *)
+
+type sched_spec =
+  | Default  (** min-clock discrete-event order *)
+  | Seed of int  (** seeded random preemption *)
+  | Prefix of int list  (** scripted decision-point choices, then default *)
+
+val sched_to_string : sched_spec -> string
+
+val sched_of_string : string -> sched_spec
+(** Inverse of {!sched_to_string} (["default"], ["seed:N"],
+    ["prefix:c0,c1,..."]); raises [Invalid_argument] on junk. *)
+
+type failure = {
+  f_system : string;
+  f_workload : string;
+  f_threads : int;
+  f_txs : int;
+  f_sched : sched_spec;
+  f_crash : int option;  (** crash boundary; [None]: power loss after quiescence *)
+  f_reason : string;
+}
+
+type report = Pass of { runs : int; sites : int } | Fail of failure
+
+val replay_line : failure -> string
+(** The deterministically replayable [dudetm check ...] one-liner. *)
+
+val check_system : ?budget:budget -> ?log:(string -> unit) -> sut -> workload list -> report
+(** Run the full exploration.  On the first oracle violation the failing
+    case is shrunk (default schedule preferred, then fewest transactions,
+    then earliest crash boundary) before being reported. *)
+
+val replay : sut -> workload -> sched:sched_spec -> crash:int option -> string option
+(** Re-run one exact case; [Some reason] if the oracle still fails. *)
+
+val count_sites : sut -> workload -> sched:sched_spec -> int
+(** Number of crash boundaries one run of this case passes through. *)

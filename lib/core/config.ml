@@ -1,5 +1,7 @@
 type mode = Async | Sync | Inf
 
+type fault = No_fault | Early_durable_publish | Unfenced_reproduce
+
 type t = {
   heap_size : int;
   root_size : int;
@@ -23,6 +25,7 @@ type t = {
   compress_cost_per_byte : float;
   reproduce_cost_per_entry : int;
   seed : int;
+  fault : fault;
 }
 
 let default =
@@ -49,6 +52,7 @@ let default =
     compress_cost_per_byte = 2.0;
     reproduce_cost_per_entry = 24;
     seed = 42;
+    fault = No_fault;
   }
 
 let with_mode mode t = { t with mode }

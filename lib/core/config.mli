@@ -16,6 +16,21 @@ type mode =
               (DUDETM-Sync) *)
   | Inf  (** decoupled with unbounded volatile log buffers (DUDETM-Inf) *)
 
+(** Deliberately seeded crash-ordering bugs, used {e only} to validate the
+    systematic crash checker ([lib/check]): a checker that cannot detect
+    these mutants proves nothing about the real engine.  Production
+    configurations always use [No_fault]. *)
+type fault =
+  | No_fault
+  | Early_durable_publish
+      (** Persist step publishes the durable ID {e before} the log record's
+          persist fence: a crash in the window loses acknowledged
+          transactions. *)
+  | Unfenced_reproduce
+      (** Reproduce skips the persist fence on reproduced data before the
+          checkpoint watermark advances: a crash after the checkpoint loses
+          heap data the recovery believes is already home. *)
+
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
   root_size : int;  (** reserved root block at heap offset 0 *)
@@ -39,6 +54,7 @@ type t = {
   compress_cost_per_byte : float;
   reproduce_cost_per_entry : int;
   seed : int;
+  fault : fault;  (** seeded checker-validation bug; [No_fault] in production *)
 }
 
 val default : t

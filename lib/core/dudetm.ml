@@ -265,7 +265,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
         let body = Log_entry.encode_list entries in
         let payload = Bytes.cat (Bytes.make 1 flag_plain) body in
-        let record = Plog.append plog payload in
+        (* Seeded mutant (checker self-test only): skip the record's persist
+           fence, so the durable ID published below covers a record still
+           sitting in the cache — a crash loses transactions the
+           application already acknowledged. *)
+        let record =
+          Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish) plog
+            payload
+        in
         Stats.incr t.stats "flush_records";
         Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
         queue_items t i entries record;
@@ -365,7 +372,10 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         invalid_arg "Dudetm: combined group exceeds the persistent log ring";
       Sched.wait_until ~label:"plog space (combined)" (fun () ->
           Plog.free_space t.plogs.(0) >= need);
-      let record = Plog.append t.plogs.(0) payload in
+      let record =
+        Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
+          t.plogs.(0) payload
+      in
       Stats.incr t.stats "flush_records";
       Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
       Queue.push
@@ -485,8 +495,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       incr batch
     done;
     if !applied_any then begin
-      (* One persist ordering covers the whole round's reproduced data. *)
-      Nvm.persist_ranges t.nvm !ranges;
+      (* One persist ordering covers the whole round's reproduced data.
+         The Unfenced_reproduce mutant (checker self-test only) skips it:
+         the checkpoint watermark then runs ahead of the persisted heap. *)
+      if t.cfg.Config.fault <> Config.Unfenced_reproduce then
+        Nvm.persist_ranges t.nvm !ranges;
       t.persisted_data <- applied t
     end;
     !applied_any

@@ -111,7 +111,7 @@ let used_space t = t.tail - t.head
 
 let free_space t = t.dcap - used_space t
 
-let append t payload =
+let append ?(persist = true) t payload =
   let len = Bytes.length payload in
   let total = record_overhead + len in
   if total > free_space t then invalid_arg "Plog.append: no space";
@@ -123,8 +123,10 @@ let append t payload =
   Bytes.blit payload 0 frame record_overhead len;
   write_wrapped t t.tail frame;
   (* The CRC seals the record: one persist ordering makes the whole group
-     of transactions durable, torn writes fail validation on recovery. *)
-  persist_wrapped t t.tail total;
+     of transactions durable, torn writes fail validation on recovery.
+     [persist:false] skips that fence and exists only for the seeded
+     checker-validation mutant (Config.Early_durable_publish). *)
+  if persist then persist_wrapped t t.tail total;
   let r = { seq = t.seq; payload; end_off = t.tail + total } in
   t.tail <- t.tail + total;
   t.seq <- t.seq + 1;

@@ -41,10 +41,14 @@ val free_space : t -> int
 
 val used_space : t -> int
 
-val append : t -> bytes -> record
+val append : ?persist:bool -> t -> bytes -> record
 (** Write one record and persist it (single persist ordering).  The caller
     must check {!free_space} ([record_overhead + length]) first; appending
-    without space raises [Invalid_argument]. *)
+    without space raises [Invalid_argument].  [persist] (default true)
+    exists only for the seeded checker-validation mutant
+    ({!Dudetm_core.Config.fault}): [false] leaves the record volatile, so a
+    durable ID covering it is published before the record's persist
+    fence. *)
 
 val recycle_to : t -> end_off:int -> next_seq:int -> unit
 (** Advance the persistent head past all records before [end_off]: they

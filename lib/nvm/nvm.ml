@@ -16,6 +16,10 @@ type t = {
   charge_time : bool;
   mutable write_bytes : int;
   mutable persist_ops : int;
+  (* Fired at every persist boundary: once when an ordering is issued and
+     once after each dirty line reaches the persisted image.  The systematic
+     crash checker raises from here to cut power at an exact boundary. *)
+  mutable persist_hook : (unit -> unit) option;
 }
 
 let create ?(charge_time = true) cfg ~size =
@@ -30,7 +34,12 @@ let create ?(charge_time = true) cfg ~size =
     charge_time;
     write_bytes = 0;
     persist_ops = 0;
+    persist_hook = None;
   }
+
+let set_persist_hook t hook = t.persist_hook <- hook
+
+let fire_hook t = match t.persist_hook with Some f -> f () | None -> ()
 
 let size t = Mem.size t.latest
 
@@ -90,14 +99,20 @@ let flush_range t ~off ~len =
   if len > 0 then begin
     let first = line t off and last = line t (off + len - 1) in
     for l = first to last do
-      if Hashtbl.mem t.dirty l then bytes := !bytes + flush_line t l
+      if Hashtbl.mem t.dirty l then begin
+        bytes := !bytes + flush_line t l;
+        fire_hook t
+      end
     done
   end;
   !bytes
 
-let persist t ~off ~len = charge t (flush_range t ~off ~len)
+let persist t ~off ~len =
+  fire_hook t;
+  charge t (flush_range t ~off ~len)
 
 let persist_ranges t ranges =
+  fire_hook t;
   let bytes = List.fold_left (fun acc (off, len) -> acc + flush_range t ~off ~len) 0 ranges in
   charge t bytes
 

@@ -57,6 +57,16 @@ val persist_ranges : t -> (int * int) list -> unit
 val dirty_lines : t -> int
 (** Number of lines currently dirty (not yet persisted). *)
 
+val set_persist_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a callback fired at every persist boundary: once when
+    a persist ordering is issued ({!persist}, {!persist_ranges}) and once
+    after each dirty line is copied into the persisted image.  The
+    systematic crash checker ([lib/check]) counts these firings and raises
+    from the hook to cut power at an exact persist/fence/line boundary —
+    crashing between two firings leaves exactly the lines flushed so far
+    durable, i.e. a torn persist.  The hook does not fire during {!crash}
+    eviction or while no hook is installed. *)
+
 (** {1 Crash and recovery} *)
 
 val crash : ?evict_fraction:float -> ?rng:Dudetm_sim.Rng.t -> t -> unit

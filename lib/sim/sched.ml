@@ -23,12 +23,18 @@ type thread = {
   mutable state : state;
 }
 
+type strategy =
+  | Min_clock
+  | Choice of (step:int -> candidates:int -> int)
+
 type sched = {
   mutable threads : thread list;  (* in spawn order; ids are positions *)
   mutable rev_new : thread list;  (* threads spawned since last loop pass *)
   mutable next_id : int;
   mutable live_non_daemon : int;
   mutable watermark : int;
+  mutable steps : int;  (* decision points (>= 2 runnable) so far *)
+  strategy : strategy;
   trace : bool;
 }
 
@@ -88,34 +94,58 @@ let absorb_new s =
     s.rev_new <- []
   end
 
-(* Pick the runnable thread with the smallest (clock, id).  A blocked thread
-   whose predicate is still false has its clock dragged up to the winning
-   clock, modelling time passing while it polls. *)
-let pick s =
-  let best = ref None in
-  let consider t =
-    match !best with
-    | None -> best := Some t
-    | Some b -> if t.clock < b.clock then best := Some t
-  in
+(* A blocked thread whose predicate is still false has its clock dragged up
+   to the winning clock, modelling time passing while it polls. *)
+let drag_waiters s w =
   List.iter
     (fun t ->
       match t.state with
-      | Not_started _ | Paused _ -> consider t
-      | Waiting { pred; _ } -> if pred () then consider t
-      | Running | Finished -> ())
-    s.threads;
-  (match !best with
-  | Some w ->
-    List.iter
-      (fun t ->
-        match t.state with
-        | Waiting { pred; _ } when not (pred ()) ->
-          if t.clock < w.clock then t.clock <- w.clock
-        | _ -> ())
-      s.threads
-  | None -> ());
-  !best
+      | Waiting { pred; _ } when not (pred ()) ->
+        if t.clock < w.clock then t.clock <- w.clock
+      | _ -> ())
+    s.threads
+
+let runnable t =
+  match t.state with
+  | Not_started _ | Paused _ -> true
+  | Waiting { pred; _ } -> pred ()
+  | Running | Finished -> false
+
+(* Pick the next thread to resume.  Min_clock takes the runnable thread with
+   the smallest (clock, id) — conservative discrete-event order.  A Choice
+   strategy is consulted at every decision point (>= 2 runnable threads)
+   with the candidates sorted in that same order, so index 0 degenerates to
+   Min_clock and any other index is a legal preemption. *)
+let pick s =
+  let best =
+    match s.strategy with
+    | Min_clock ->
+      let best = ref None in
+      List.iter
+        (fun t ->
+          if runnable t then
+            match !best with
+            | None -> best := Some t
+            | Some b -> if t.clock < b.clock then best := Some t)
+        s.threads;
+      !best
+    | Choice choose -> (
+      match List.filter runnable s.threads with
+      | [] -> None
+      | [ t ] -> Some t
+      | cands ->
+        let sorted =
+          List.sort (fun a b -> compare (a.clock, a.id) (b.clock, b.id)) cands
+        in
+        let n = List.length sorted in
+        let step = s.steps in
+        s.steps <- step + 1;
+        let i = choose ~step ~candidates:n in
+        let i = if i < 0 || i >= n then 0 else i in
+        Some (List.nth sorted i))
+  in
+  (match best with Some w -> drag_waiters s w | None -> ());
+  best
 
 let resume s t =
   if t.clock > s.watermark then s.watermark <- t.clock;
@@ -154,7 +184,17 @@ let kill_daemons s =
       | Running | Finished -> ())
     s.threads
 
-let run ?(trace = false) main =
+let min_clock = Min_clock
+
+(* Stateless seeded choice: hashing (seed, step) through splitmix64 keeps
+   the strategy value reusable across runs with identical schedules. *)
+let random_priority ~seed =
+  Choice
+    (fun ~step ~candidates ->
+      let rng = Rng.create ((seed * 0x3C6EF372) lxor (step * 0x9E3779B9) lxor seed) in
+      Rng.int rng candidates)
+
+let run ?(trace = false) ?(strategy = Min_clock) main =
   if !current <> None then invalid_arg "Sched.run: nested simulations are not supported";
   let s =
     {
@@ -163,6 +203,8 @@ let run ?(trace = false) main =
       next_id = 1;
       live_non_daemon = 1;
       watermark = 0;
+      steps = 0;
+      strategy;
       trace;
     }
   in

@@ -17,11 +17,40 @@ exception Deadlock of string
 (** Raised when no thread can make progress: every live non-daemon thread is
     blocked on a false predicate.  The payload lists the blocked threads. *)
 
-val run : ?trace:bool -> (unit -> unit) -> int
+(** {1 Scheduling strategies}
+
+    Every scheduling point where more than one thread is runnable is a
+    {e decision point}.  The default strategy resolves it conservatively
+    (smallest local clock wins — discrete-event order); the systematic
+    checker ([lib/check]) plugs in alternatives to explore other legal
+    interleavings while keeping every run perfectly reproducible. *)
+
+type strategy =
+  | Min_clock
+      (** Resume the runnable thread with the smallest [(clock, id)] — the
+          conservative discrete-event order used by all benchmarks. *)
+  | Choice of (step:int -> candidates:int -> int)
+      (** At decision point number [step] (counted from 0, only points with
+          [candidates >= 2] runnable threads count), pick the candidate at
+          the returned index in [(clock, id)] order.  Index 0 reproduces
+          {!Min_clock} at that point; out-of-range indices clamp to 0.  The
+          function must be deterministic in [(step, candidates)] for runs to
+          be replayable. *)
+
+val min_clock : strategy
+
+val random_priority : seed:int -> strategy
+(** Seeded random preemption: each decision point independently picks a
+    uniformly random runnable thread.  Stateless (the choice is a hash of
+    [(seed, step)]), so the same seed always yields the same schedule and
+    the strategy value can be reused across runs. *)
+
+val run : ?trace:bool -> ?strategy:strategy -> (unit -> unit) -> int
 (** [run main] executes [main] as the first logical thread, scheduling it and
     everything it {!spawn}s until all non-daemon threads finish; remaining
     daemon threads are then cancelled.  Returns the final simulated time in
-    cycles.  Must not be nested. *)
+    cycles.  Must not be nested.  [strategy] (default {!Min_clock}) resolves
+    scheduling decision points. *)
 
 val spawn : ?daemon:bool -> string -> (unit -> unit) -> int
 (** [spawn name f] creates a new logical thread starting at the caller's

@@ -1,0 +1,152 @@
+(* Tier-1 smoke for the systematic crash/schedule checker (lib/check), plus
+   the mutation self-test: the checker must stay quiet on the real engine and
+   both baselines, and must catch both deliberately seeded ordering bugs. *)
+
+module Check = Dudetm_check.Check
+module Config = Dudetm_core.Config
+
+(* A small explicit budget so runtest stays fast; the env-sensitive
+   [tier1_budget] is exercised separately below. *)
+let smoke_budget : Check.budget =
+  {
+    crash_sites = 25;
+    sched_seeds = 2;
+    crash_sites_per_seed = 6;
+    exhaustive_runs = 12;
+    exhaustive_depth = 5;
+  }
+
+let expect_pass name sut =
+  let wls = Check.workloads_for sut ~threads:3 ~txs:2 in
+  match Check.check_system ~budget:smoke_budget sut wls with
+  | Check.Pass { runs; sites } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: explored some runs" name)
+      true
+      (runs > 0 && sites > 0)
+  | Check.Fail f ->
+    Alcotest.failf "%s: checker found a violation: %s\n  replay: %s" name
+      f.Check.f_reason (Check.replay_line f)
+
+let test_clean_dude () = expect_pass "dude" (Check.dude ())
+
+let test_clean_combine () = expect_pass "dude-combine" (Check.dude_combine ())
+
+let test_clean_htm () = expect_pass "dude-htm" (Check.dude_htm ())
+
+let test_clean_mnemosyne () = expect_pass "mnemosyne" (Check.mnemosyne ())
+
+let test_clean_nvml () = expect_pass "nvml" (Check.nvml ())
+
+(* Mutation self-test: a checker that cannot catch a seeded ordering bug is
+   not checking anything.  Each fault must (1) produce a Fail, and (2) shrink
+   to a triple that deterministically fails again when replayed. *)
+let expect_caught name fault =
+  let sut = Check.dude ~fault () in
+  let wls = Check.workloads_for sut ~threads:3 ~txs:2 in
+  match Check.check_system ~budget:smoke_budget sut wls with
+  | Check.Pass _ -> Alcotest.failf "%s: seeded bug escaped the checker" name
+  | Check.Fail f ->
+    let line = Check.replay_line f in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: replay line names the mutant" name)
+      true
+      (String.length line > 0);
+    (* Re-run the shrunk triple: it must fail again, deterministically. *)
+    let wl =
+      Check.workload_of_name ~threads:f.Check.f_threads ~txs:f.Check.f_txs
+        f.Check.f_workload
+    in
+    (match Check.replay sut wl ~sched:f.Check.f_sched ~crash:f.Check.f_crash with
+    | Some _reason -> ()
+    | None ->
+      Alcotest.failf "%s: shrunk triple did not reproduce (%s)" name line);
+    (* And twice more: same triple, same verdict (determinism). *)
+    let r1 = Check.replay sut wl ~sched:f.Check.f_sched ~crash:f.Check.f_crash in
+    let r2 = Check.replay sut wl ~sched:f.Check.f_sched ~crash:f.Check.f_crash in
+    Alcotest.(check (option string)) (name ^ ": replay is deterministic") r1 r2
+
+let test_mutant_early_durable () =
+  expect_caught "early-durable" Config.Early_durable_publish
+
+let test_mutant_unfenced_reproduce () =
+  expect_caught "unfenced-reproduce" Config.Unfenced_reproduce
+
+(* The unmutated engine must pass the exact schedules/crash points that
+   expose the mutants — guards against oracle false positives. *)
+let test_mutant_sites_clean_on_real_engine () =
+  let sut = Check.dude () in
+  List.iter
+    (fun fault ->
+      let mutant = Check.dude ~fault () in
+      let wls = Check.workloads_for mutant ~threads:3 ~txs:2 in
+      match Check.check_system ~budget:smoke_budget mutant wls with
+      | Check.Pass _ -> Alcotest.fail "seeded bug escaped the checker"
+      | Check.Fail f ->
+        let wl =
+          Check.workload_of_name ~threads:f.Check.f_threads
+            ~txs:f.Check.f_txs f.Check.f_workload
+        in
+        (match
+           Check.replay sut wl ~sched:f.Check.f_sched ~crash:f.Check.f_crash
+         with
+        | None -> ()
+        | Some reason ->
+          Alcotest.failf "real engine fails the mutant's triple: %s" reason))
+    [ Config.Early_durable_publish; Config.Unfenced_reproduce ]
+
+(* sched_spec round-trips through its textual form (the replay one-liner
+   depends on this). *)
+let test_sched_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      let s' = Check.sched_of_string (Check.sched_to_string s) in
+      Alcotest.(check string)
+        "sched round-trip"
+        (Check.sched_to_string s)
+        (Check.sched_to_string s'))
+    [ Check.Default; Check.Seed 42; Check.Prefix [ 1; 0; 2 ]; Check.Prefix [] ]
+
+(* tier1_budget honours the DUDETM_CHECK_BUDGET multiplier. *)
+let test_budget_knob () =
+  let base = Check.quick_budget in
+  Unix.putenv "DUDETM_CHECK_BUDGET" "2";
+  let scaled = Check.tier1_budget () in
+  Unix.putenv "DUDETM_CHECK_BUDGET" "";
+  Alcotest.(check int) "crash sites scaled" (base.Check.crash_sites * 2)
+    scaled.Check.crash_sites;
+  Alcotest.(check int) "exhaustive runs scaled"
+    (base.Check.exhaustive_runs * 2) scaled.Check.exhaustive_runs;
+  let plain = Check.tier1_budget () in
+  Alcotest.(check int) "knob cleared" base.Check.crash_sites
+    plain.Check.crash_sites
+
+(* count_sites and replay agree on the crash-boundary space: replaying at a
+   boundary beyond the count is still well-defined (no crash fires). *)
+let test_replay_past_last_site () =
+  let sut = Check.dude () in
+  let wl = Check.counter ~threads:2 ~txs:1 in
+  let sites = Check.count_sites sut wl ~sched:Check.Default in
+  Alcotest.(check bool) "some sites" true (sites > 0);
+  match Check.replay sut wl ~sched:Check.Default ~crash:(Some (sites + 10)) with
+  | None -> ()
+  | Some reason -> Alcotest.failf "quiescent run past last site failed: %s" reason
+
+let suite =
+  [
+    Alcotest.test_case "clean: dude" `Quick test_clean_dude;
+    Alcotest.test_case "clean: dude-combine" `Quick test_clean_combine;
+    Alcotest.test_case "clean: dude-htm" `Quick test_clean_htm;
+    Alcotest.test_case "clean: mnemosyne" `Quick test_clean_mnemosyne;
+    Alcotest.test_case "clean: nvml" `Quick test_clean_nvml;
+    Alcotest.test_case "mutant caught: early durable publish" `Quick
+      test_mutant_early_durable;
+    Alcotest.test_case "mutant caught: unfenced reproduce" `Quick
+      test_mutant_unfenced_reproduce;
+    Alcotest.test_case "mutant triples pass on real engine" `Quick
+      test_mutant_sites_clean_on_real_engine;
+    Alcotest.test_case "sched spec round-trip" `Quick test_sched_spec_roundtrip;
+    Alcotest.test_case "budget env knob" `Quick test_budget_knob;
+    Alcotest.test_case "replay past last site is quiescent" `Quick
+      test_replay_past_last_site;
+  ]

@@ -326,6 +326,97 @@ let prop_crash_consistency_sync =
       verify_counter_state t2 report;
       true)
 
+(* Torn-tail recovery: crash, then corrupt the tail record of a chosen
+   subset of the per-thread plog rings in the persisted image.  Recovery
+   must discard exactly the torn suffix of each corrupted ring and land on
+   the durable ID recomputed from the surviving records — never accept a
+   torn record, never discard a valid one. *)
+let crash_no_attach ~cfg ~cycles ~seed =
+  let t = D.create cfg in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            D.start t;
+            for th = 0 to cfg.Config.nthreads - 1 do
+              ignore
+                (Sched.spawn (Printf.sprintf "w%d" th) (fun () ->
+                     while true do
+                       counter_tx t th
+                     done))
+            done;
+            Sched.advance cycles;
+            raise Crashed))
+   with Crashed -> ());
+  Nvm.crash ~evict_fraction:0.0 ~rng:(Rng.create seed) (D.nvm t);
+  t
+
+let prop_torn_tail_recovery =
+  QCheck2.Test.make
+    ~name:"dudetm: torn plog tails discard exactly the torn suffix" ~count:20
+    QCheck2.Gen.(tup3 (int_range 2_000 150_000) (int_range 0 10_000) (int_range 1 7))
+    (fun (cycles, seed, mask) ->
+      let cfg = small_cfg () in
+      let t = crash_no_attach ~cfg ~cycles ~seed in
+      let nvm = D.nvm t in
+      let module IS = Set.Make (Int) in
+      let surviving = ref IS.empty in
+      let record_tids (r : Dudetm_log.Plog.record) =
+        let p = r.Dudetm_log.Plog.payload in
+        if Bytes.get p 0 <> 'P' then Alcotest.fail "unexpected payload flag";
+        Dudetm_log.Log_entry.tids
+          (Dudetm_log.Log_entry.decode_list (Bytes.sub p 1 (Bytes.length p - 1)))
+      in
+      let dcap = cfg.Config.plog_size - Dudetm_log.Plog.header_size in
+      (* A record may only tear while its transactions are still waiting to
+         be reproduced: once Reproduce has persisted a transaction's writes
+         to their home locations, its record is durable history.  Corrupting
+         such a record would fake a physically impossible crash, so bound
+         the corruption by the largest tid with persisted home effects. *)
+      let persisted_max = ref (Int64.to_int (Nvm.persisted_u64 nvm 0)) in
+      for i = 0 to counter_slots - 1 do
+        persisted_max :=
+          max !persisted_max (Int64.to_int (Nvm.persisted_u64 nvm (8 + (8 * i))))
+      done;
+      for ring = 0 to Config.plog_regions cfg - 1 do
+        let base = Config.plog_base cfg ring in
+        let _, records = Dudetm_log.Plog.attach nvm ~base ~size:cfg.Config.plog_size in
+        let corrupt = mask land (1 lsl ring) <> 0 in
+        let rec keep = function
+          | [] -> ()
+          | [ last ]
+            when corrupt
+                 && List.for_all
+                      (fun tid -> tid > !persisted_max)
+                      (record_tids last) ->
+            (* Flip the tail record's last payload byte in the persisted
+               image: its CRC fails and recovery must treat it as torn. *)
+            let off =
+              base + Dudetm_log.Plog.header_size
+              + ((last.Dudetm_log.Plog.end_off - 1) mod dcap)
+            in
+            Nvm.store_u8 nvm off (Nvm.load_u8 nvm off lxor 0xff);
+            Nvm.persist nvm ~off ~len:1
+          | r :: rest ->
+            List.iter (fun tid -> surviving := IS.add tid !surviving) (record_tids r);
+            keep rest
+        in
+        keep records
+      done;
+      let _, st =
+        Dudetm_core.Checkpoint.attach nvm ~base:(Config.meta_base cfg)
+          ~size:cfg.Config.meta_size
+      in
+      let c = st.Dudetm_core.Checkpoint.reproduced_upto in
+      let rec ext d = if IS.mem (d + 1) !surviving then ext (d + 1) else d in
+      let expected = ext c in
+      let t2, report = D.attach cfg nvm in
+      if report.Dudetm_core.Dudetm.durable <> expected then
+        Alcotest.failf
+          "recovered durable %d, expected %d after torn tails (mask %d, checkpoint %d)"
+          report.Dudetm_core.Dudetm.durable expected mask c;
+      verify_counter_state t2 report;
+      true)
+
 let test_acknowledged_txs_survive () =
   (* Durability acknowledgement is binding: any tid at or below the
      durable ID observed before the crash must survive it. *)
@@ -489,6 +580,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_crash_consistency_combined;
     QCheck_alcotest.to_alcotest prop_crash_consistency_paged;
     QCheck_alcotest.to_alcotest prop_crash_consistency_sync;
+    QCheck_alcotest.to_alcotest prop_torn_tail_recovery;
     Alcotest.test_case "acknowledged transactions survive" `Quick test_acknowledged_txs_survive;
     Alcotest.test_case "crash with allocations" `Quick test_crash_with_allocations;
     Alcotest.test_case "HTM backend pipeline" `Quick test_htm_backend_pipeline;

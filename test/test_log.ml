@@ -219,6 +219,50 @@ let prop_combine_replay_equivalent =
       && stats.Combine.writes_out <= stats.Combine.writes_in
       && Log_entry.tids combined = Log_entry.tids group)
 
+(* Adversarial structured groups: every transaction draws its writes from a
+   tiny address pool, so consecutive transactions overlap heavily (the case
+   combination exists for); some transactions are empty (a bare end mark).
+   Combination must stay replay-equivalent, keep every end mark, and emit at
+   most one write per address. *)
+let adversarial_group_gen =
+  QCheck2.Gen.(
+    let tx tid =
+      let* writes =
+        list_size (int_range 0 6)
+          (map2
+             (fun a v -> Log_entry.Write { addr = 8 * a; value = Int64.of_int v })
+             (int_range 0 3) (int_range 0 1000))
+      in
+      return (writes @ [ Log_entry.Tx_end { tid } ])
+    in
+    let* n = int_range 1 12 in
+    let rec build i acc =
+      if i > n then return (List.concat (List.rev acc))
+      else
+        let* t = tx i in
+        build (i + 1) (t :: acc)
+    in
+    build 1 [])
+
+let prop_combine_adversarial_overlap =
+  QCheck2.Test.make
+    ~name:"combine: overlapping and empty transactions stay replay-equivalent"
+    ~count:500 adversarial_group_gen
+    (fun group ->
+      let combined, stats = Combine.combine group in
+      let write_addrs =
+        List.filter_map
+          (function Log_entry.Write { addr; _ } -> Some addr | _ -> None)
+          combined
+      in
+      replay group = replay combined
+      && Log_entry.tids combined = Log_entry.tids group
+      && List.length write_addrs = List.length (List.sort_uniq compare write_addrs)
+      && stats.Combine.writes_out = List.length write_addrs
+      (* A combined group must also survive the wire format: recovery sees
+         it only through encode/decode. *)
+      && Log_entry.decode_list (Log_entry.encode_list combined) = combined)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_encode_roundtrip;
@@ -237,4 +281,5 @@ let suite =
     Alcotest.test_case "combine: last writer wins" `Quick test_combine_last_writer_wins;
     Alcotest.test_case "combine preserves allocation order" `Quick test_combine_preserves_alloc_order;
     QCheck_alcotest.to_alcotest prop_combine_replay_equivalent;
+    QCheck_alcotest.to_alcotest prop_combine_adversarial_overlap;
   ]

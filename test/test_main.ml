@@ -14,4 +14,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("kv", Test_kv.suite);
+      ("check", Test_check.suite);
     ]

@@ -133,6 +133,42 @@ let prop_random_appends_survive =
           records expected;
       !ok)
 
+let prop_wraparound_roundtrip =
+  (* Push several laps of traffic through a tiny ring, recycling as
+     Reproduce would, so records straddle the wrap point at random
+     alignments.  After a crash, attach must return exactly the unrecycled
+     suffix, in order, bytes intact. *)
+  QCheck2.Test.make ~name:"plog: records straddling the wrap point round-trip"
+    ~count:150
+    QCheck2.Gen.(tup2 (list_size (int_range 1 40) (int_range 0 120)) (int_range 1 6))
+    (fun (sizes, keep) ->
+      let nvm = device () in
+      let size = 1024 in
+      let t = Plog.format nvm ~base:0 ~size in
+      let live = Queue.create () in
+      List.iteri
+        (fun i len ->
+          let p = Bytes.init len (fun j -> Char.chr ((i + j) mod 256)) in
+          while
+            Queue.length live > 0
+            && (Plog.free_space t < Plog.record_overhead + len
+               || Queue.length live > keep)
+          do
+            let seq, _, end_off = Queue.pop live in
+            Plog.recycle_to t ~end_off ~next_seq:(seq + 1)
+          done;
+          let r = Plog.append t p in
+          Queue.push (r.Plog.seq, p, r.Plog.end_off) live)
+        sizes;
+      Nvm.crash nvm;
+      let _, records = Plog.attach nvm ~base:0 ~size in
+      let expected = List.of_seq (Queue.to_seq live) in
+      List.length records = List.length expected
+      && List.for_all2
+           (fun (r : Plog.record) (seq, p, _) ->
+             r.Plog.seq = seq && Bytes.equal r.Plog.payload p)
+           records expected)
+
 let suite =
   [
     Alcotest.test_case "append then attach" `Quick test_append_attach;
@@ -145,4 +181,5 @@ let suite =
     Alcotest.test_case "crash before recycle re-exposes records" `Quick
       test_crash_before_header_persist_keeps_old_head;
     QCheck_alcotest.to_alcotest prop_random_appends_survive;
+    QCheck_alcotest.to_alcotest prop_wraparound_roundtrip;
   ]

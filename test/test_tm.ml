@@ -276,6 +276,54 @@ let test_htm_capacity_fallback () =
   check Alcotest.bool "fallback used" true (Stats.get (Htm.stats tm) "fallbacks" > 0);
   check Alcotest.int64 "fallback writes applied" 1L (Bytes.get_int64_le mem 0)
 
+let test_htm_fallback_preserves_commit_order () =
+  (* Capacity aborts past the retry budget push big transactions onto the
+     global-lock fallback while small ones keep committing in hardware; the
+     two paths must still agree on a single serial commit-ID order.  Every
+     transaction bumps a shared counter, so its post-increment value is its
+     serialization rank — which must match its commit ID exactly. *)
+  let mem = Bytes.make (1 lsl 20) '\000' in
+  let tm =
+    Htm.create_htm ~capacity_lines:8 ~max_retries:2 (Tm_intf.mem_store mem)
+  in
+  let commits = ref [] in
+  ignore
+    (Sched.run (fun () ->
+         for t = 0 to 2 do
+           ignore
+             (Sched.spawn (Printf.sprintf "mix-%d" t) (fun () ->
+                  for i = 1 to 30 do
+                    let big = i mod 3 = 0 in
+                    match
+                      Htm.run tm (fun tx ->
+                          let s = Int64.to_int (Htm.read tx 0) + 1 in
+                          Htm.write tx 0 (Int64.of_int s);
+                          (* Touch 31 extra lines: past the 8-line write
+                             capacity, so retries can't help. *)
+                          if big then
+                            for j = 1 to 31 do
+                              Htm.write tx ((t * 16384) + (j * 64)) (Int64.of_int s)
+                            done;
+                          s)
+                    with
+                    | Some (s, tid) -> commits := (tid, s) :: !commits
+                    | None -> Alcotest.fail "unexpected user abort"
+                  done))
+         done));
+  let sorted = List.sort compare !commits in
+  check Alcotest.int "every transaction committed" 90 (List.length sorted);
+  List.iteri
+    (fun idx (tid, s) ->
+      if tid <> idx + 1 || s <> idx + 1 then
+        Alcotest.failf "commit order diverges: tid %d serialized as rank %d" tid s)
+    sorted;
+  check Alcotest.int64 "counter equals total commits" 90L (Bytes.get_int64_le mem 0);
+  check Alcotest.bool "capacity aborts past the retry budget" true
+    (Stats.get (Htm.stats tm) "capacity_aborts" > 0);
+  let fallbacks = Stats.get (Htm.stats tm) "fallbacks" in
+  check Alcotest.bool "some commits took the lock fallback" true (fallbacks > 0);
+  check Alcotest.bool "some commits stayed in hardware" true (fallbacks < 90)
+
 let test_htm_conflict_dooms_reader () =
   let mem = Bytes.make 1024 '\000' in
   let tm = Htm.create (Tm_intf.mem_store mem) in
@@ -339,6 +387,8 @@ let suite =
       Alcotest.test_case "htm: write buffering" `Quick test_htm_write_buffering;
       Alcotest.test_case "htm: capacity abort falls back to lock" `Quick
         test_htm_capacity_fallback;
+      Alcotest.test_case "htm: fallback preserves commit-ID order" `Quick
+        test_htm_fallback_preserves_commit_order;
       Alcotest.test_case "htm: conflict dooms reader" `Quick test_htm_conflict_dooms_reader;
       Alcotest.test_case "htm: tx-ID counter conflict ablation" `Quick
         test_htm_tid_conflicts_ablation;
