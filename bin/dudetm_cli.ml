@@ -207,6 +207,7 @@ let check_cmd =
         ("none", Config.No_fault);
         ("early-durable", Config.Early_durable_publish);
         ("unfenced-reproduce", Config.Unfenced_reproduce);
+        ("skip-crc-verify", Config.Skip_crc_verify);
       ]
     in
     Arg.(
@@ -214,8 +215,46 @@ let check_cmd =
       & opt (enum faults) Config.No_fault
       & info [ "mutate" ] ~docv:"FAULT"
           ~doc:
-            "Seed a deliberate ordering bug into DudeTM (checker self-validation): none, \
-             early-durable, or unfenced-reproduce.")
+            "Seed a deliberate bug into DudeTM (checker self-validation): none, \
+             early-durable, unfenced-reproduce, or skip-crc-verify.")
+  in
+  let media =
+    Arg.(
+      value & flag
+      & info [ "media" ]
+          ~doc:
+            "Run the media-fault campaign instead: inject seeded bit rot, poison, and \
+             stuck lines into the persisted image after crashes, scrub, recover, and \
+             require every corruption to be repaired or reported — never silent.")
+  in
+  let media_faults =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"MIX"
+          ~doc:"With --media and --media-seed: replay one exact case with this fault mix \
+                (heap or mixed).")
+  in
+  let media_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "media-seed" ] ~docv:"SEED"
+          ~doc:"With --media and --faults: the fault-injection seed of the case to replay.")
+  in
+  let media_seeds =
+    Arg.(
+      value & opt int Dudetm_check.Check.default_media_seeds
+      & info [ "media-seeds" ] ~doc:"Fault-injection seeds the --media campaign sweeps.")
+  in
+  let evict =
+    Arg.(
+      value & opt float 0.0
+      & info [ "evict" ] ~docv:"FRACTION"
+          ~doc:
+            "Cache-eviction adversary: each dirty line independently leaks into the \
+             persisted image with this probability at every power cut (0 disables).")
+  in
+  let evict_seed =
+    Arg.(value & opt int 1 & info [ "evict-seed" ] ~doc:"RNG seed for --evict.")
   in
   let sched =
     Arg.(
@@ -233,79 +272,196 @@ let check_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at verbose =
-    match
-      let suts =
-        if system = "all" then List.map (fun n -> Check.sut_of_name ~fault n) Check.sut_names
-        else [ Check.sut_of_name ~fault system ]
-      in
-      let check_one sut =
-        let wls =
-          if workload = "all" then Check.workloads_for sut ~threads ~txs
-          else [ Check.workload_of_name ~threads ~txs workload ]
+      crash_at media media_faults media_seed media_seeds evict_frac evict_seed verbose =
+    let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
+    if media then begin
+      match
+        let mode = Option.map Check.media_mode_of_string media_faults in
+        let crash = if crash_at > 0 then Some crash_at else None in
+        Check.check_media ~fault ~seeds:media_seeds ~log ?mode ?media_seed ?crash ()
+      with
+      | Check.Media_pass { runs; injected } ->
+        Printf.printf "media campaign: PASS (%d runs, %d faults injected, all detected)\n"
+          runs injected;
+        `Ok ()
+      | Check.Media_fail mf ->
+        Printf.printf "media campaign: FAIL: %s\n  replay: %s\n" mf.Check.mf_reason
+          (Check.media_replay_line mf);
+        `Error (false, "media-fault check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+    end
+    else
+      let evict = if evict_frac > 0.0 then Some (evict_frac, evict_seed) else None in
+      match
+        let suts =
+          if system = "all" then
+            List.map (fun n -> Check.sut_of_name ~fault n) Check.sut_names
+          else [ Check.sut_of_name ~fault system ]
         in
-        let replaying = sched <> None || crash_at > 0 in
-        if replaying then begin
-          let spec =
-            match sched with Some s -> Check.sched_of_string s | None -> Check.Default
+        let check_one sut =
+          let wls =
+            if workload = "all" then Check.workloads_for sut ~threads ~txs
+            else [ Check.workload_of_name ~threads ~txs workload ]
           in
-          let crash = if crash_at > 0 then Some crash_at else None in
-          List.fold_left
-            (fun acc wl ->
-              match Check.replay sut wl ~sched:spec ~crash with
-              | None ->
-                Printf.printf "%s/%s sched=%s crash=%d: PASS\n" sut.Check.sut_name
-                  wl.Check.wl_name (Check.sched_to_string spec) crash_at;
-                acc
-              | Some reason ->
-                Printf.printf "%s/%s sched=%s crash=%d: FAIL: %s\n" sut.Check.sut_name
-                  wl.Check.wl_name (Check.sched_to_string spec) crash_at reason;
-                1)
-            0 wls
-        end
-        else begin
-          let budget =
-            if deep then Check.deep_budget
-            else if quick then Check.quick_budget
-            else Check.tier1_budget ()
-          in
-          let budget =
-            {
-              budget with
-              Check.crash_sites =
-                (if crash_budget > 0 then crash_budget else budget.Check.crash_sites);
-              sched_seeds =
-                (if sched_seeds >= 0 then sched_seeds else budget.Check.sched_seeds);
-            }
-          in
-          let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
-          match Check.check_system ~budget ~log sut wls with
-          | Check.Pass { runs; sites } ->
-            Printf.printf "%s: PASS (%d runs, %d crash boundaries covered)\n%!"
-              sut.Check.sut_name runs sites;
-            0
-          | Check.Fail f ->
-            Printf.printf "%s: FAIL: %s\n  replay: %s\n%!" sut.Check.sut_name
-              f.Check.f_reason (Check.replay_line f);
-            1
-        end
-      in
-      List.fold_left (fun acc sut -> acc + check_one sut) 0 suts
-    with
-    | 0 -> `Ok ()
-    | _ -> `Error (false, "consistency check failed")
-    | exception Invalid_argument msg -> `Error (false, msg)
+          let replaying = sched <> None || crash_at > 0 in
+          if replaying then begin
+            let spec =
+              match sched with Some s -> Check.sched_of_string s | None -> Check.Default
+            in
+            let crash = if crash_at > 0 then Some crash_at else None in
+            List.fold_left
+              (fun acc wl ->
+                match Check.replay ?evict sut wl ~sched:spec ~crash with
+                | None ->
+                  Printf.printf "%s/%s sched=%s crash=%d: PASS\n" sut.Check.sut_name
+                    wl.Check.wl_name (Check.sched_to_string spec) crash_at;
+                  acc
+                | Some reason ->
+                  Printf.printf "%s/%s sched=%s crash=%d: FAIL: %s\n" sut.Check.sut_name
+                    wl.Check.wl_name (Check.sched_to_string spec) crash_at reason;
+                  1)
+              0 wls
+          end
+          else begin
+            let budget =
+              if deep then Check.deep_budget
+              else if quick then Check.quick_budget
+              else Check.tier1_budget ()
+            in
+            let budget =
+              {
+                budget with
+                Check.crash_sites =
+                  (if crash_budget > 0 then crash_budget else budget.Check.crash_sites);
+                sched_seeds =
+                  (if sched_seeds >= 0 then sched_seeds else budget.Check.sched_seeds);
+              }
+            in
+            match Check.check_system ~budget ~log ?evict sut wls with
+            | Check.Pass { runs; sites } ->
+              Printf.printf "%s: PASS (%d runs, %d crash boundaries covered)\n%!"
+                sut.Check.sut_name runs sites;
+              0
+            | Check.Fail f ->
+              Printf.printf "%s: FAIL: %s\n  replay: %s\n%!" sut.Check.sut_name
+                f.Check.f_reason (Check.replay_line f);
+              1
+          end
+        in
+        List.fold_left (fun acc sut -> acc + check_one sut) 0 suts
+      with
+      | 0 -> `Ok ()
+      | _ -> `Error (false, "consistency check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Systematic crash-consistency checking: enumerate power cuts at every persist \
           boundary and explore thread schedules, verifying recovery against a state-machine \
-          oracle.")
+          oracle.  With --media, a media-fault campaign: seeded bit rot, poison, and stuck \
+          lines injected post-crash must always be repaired or reported.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
-       $ sched_seeds $ mutate $ sched $ crash_at $ verbose))
+       $ sched_seeds $ mutate $ sched $ crash_at $ media $ media_faults $ media_seed
+       $ media_seeds $ evict $ evict_seed $ verbose))
+
+(* ------------------------------- scrub -------------------------------- *)
+
+let scrub_cmd =
+  let module Scrub = Dudetm_scrub.Scrub in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-injection RNG seed.") in
+  let faults =
+    Arg.(
+      value & opt int 3
+      & info [ "faults" ] ~doc:"Random media faults to inject before scrubbing.")
+  in
+  let probe =
+    Arg.(
+      value & flag
+      & info [ "probe-stuck" ] ~doc:"Write-probe every heap line for stuck-at faults.")
+  in
+  let report_only =
+    Arg.(value & flag & info [ "report-only" ] ~doc:"Audit without repairing.")
+  in
+  let run seed faults probe report_only =
+    let cfg =
+      {
+        Config.default with
+        Config.heap_size = 1 lsl 16;
+        root_size = 4096;
+        nthreads = 3;
+        vlog_capacity = 256;
+        plog_size = 1 lsl 13;
+        meta_size = 8192;
+        checkpoint_records = 2;
+      }
+    in
+    let rng = Rng.create seed in
+    let t = D.create cfg in
+    let nvm = D.nvm t in
+    (* Exercise the device with the counter workload, then cut power
+       mid-run: the scrub gets a realistic image with live log records. *)
+    let crash_cycles = 50_000 + Rng.int rng 200_000 in
+    (try
+       ignore
+         (Sched.run (fun () ->
+              D.start t;
+              for th = 0 to cfg.Config.nthreads - 1 do
+                ignore
+                  (Sched.spawn (Printf.sprintf "w%d" th) (fun () ->
+                       while true do
+                         ignore
+                           (D.atomically t ~thread:th (fun tx ->
+                                let c = D.read tx 0 in
+                                let c1 = Int64.add c 1L in
+                                D.write tx (8 + (8 * (Int64.to_int c1 mod 64))) c1;
+                                D.write tx 0 c1))
+                       done))
+              done;
+              Sched.advance crash_cycles;
+              raise Crashed))
+     with Crashed -> ());
+    Nvm.crash nvm;
+    let lines = Nvm.size nvm / Nvm.line_size nvm in
+    for _ = 1 to faults do
+      match Rng.int rng 3 with
+      | 0 ->
+        let off = Rng.int rng (Nvm.size nvm) and bit = Rng.int rng 8 in
+        Printf.printf "inject: bit rot at byte %d, bit %d\n" off bit;
+        Nvm.inject_fault nvm (Nvm.Bit_rot { off; bit })
+      | 1 ->
+        let line = Rng.int rng lines in
+        Printf.printf "inject: poison line %d\n" line;
+        Nvm.inject_fault nvm (Nvm.Poison { line })
+      | _ ->
+        let line = Rng.int rng (cfg.Config.heap_size / Nvm.line_size nvm) in
+        Printf.printf "inject: stuck line %d\n" line;
+        Nvm.inject_fault nvm (Nvm.Stuck_line { line })
+    done;
+    let r = Scrub.scrub ~repair:(not report_only) ~probe_stuck:probe cfg nvm in
+    Format.printf "scrub: @[%a@]@." Scrub.pp_report r;
+    if r.Scrub.ckpt = `Fatal then
+      `Error (false, "both checkpoint slots lost: instance unrecoverable")
+    else begin
+      let _t2, rr = D.attach cfg nvm in
+      Printf.printf
+        "recovery: durable=%d replayed=%d corrupted_records=%d quarantined_lines=%d\n"
+        rr.Dudetm_core.Dudetm.durable rr.Dudetm_core.Dudetm.replayed_txs
+        rr.Dudetm_core.Dudetm.corrupted_records rr.Dudetm_core.Dudetm.quarantined_lines;
+      if r.Scrub.bad_extents <> [] then
+        `Error (false, "unreconstructible data loss (see bad extents above)")
+      else `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Media-fault scrub demo: exercise a device, crash it, inject seeded media faults \
+          (bit rot, poison, stuck lines), then audit and repair via the checksum directory \
+          and live log records before recovering.")
+    Term.(ret (const run $ seed $ faults $ probe $ report_only))
 
 (* ------------------------------ layout -------------------------------- *)
 
@@ -316,6 +472,10 @@ let layout_cmd =
     Printf.printf "  heap:            %d MiB at offset 0\n" (cfg.Config.heap_size lsr 20);
     Printf.printf "  meta block:      %d KiB at 0x%x\n" (cfg.Config.meta_size lsr 10)
       (Config.meta_base cfg);
+    Printf.printf "  crc directory:   %d KiB at 0x%x (%d-byte extents)\n"
+      (Config.crcdir_size cfg lsr 10) (Config.crcdir_base cfg) cfg.Config.crc_extent;
+    Printf.printf "  bad-line table:  %d B at 0x%x (%d entries)\n"
+      (Config.badline_size cfg) (Config.badline_base cfg) cfg.Config.badline_capacity;
     Printf.printf "  log rings:       %d x %d KiB starting at 0x%x\n"
       (Config.plog_regions cfg) (cfg.Config.plog_size lsr 10) (Config.plog_base cfg 0);
     Printf.printf "  device size:     %d MiB\n" (Config.nvm_size cfg lsr 20);
@@ -331,4 +491,6 @@ let layout_cmd =
 let () =
   let doc = "DudeTM: decoupled durable transactions for persistent memory (simulated)" in
   exit
-    (Cmd.eval (Cmd.group (Cmd.info "dudetm" ~doc) [ run_cmd; torture_cmd; check_cmd; layout_cmd ]))
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dudetm" ~doc)
+          [ run_cmd; torture_cmd; check_cmd; scrub_cmd; layout_cmd ]))

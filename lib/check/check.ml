@@ -1,7 +1,10 @@
 module Nvm = Dudetm_nvm.Nvm
+module Rng = Dudetm_sim.Rng
 module Sched = Dudetm_sim.Sched
+module Plog = Dudetm_log.Plog
 module Config = Dudetm_core.Config
 module Dudetm = Dudetm_core.Dudetm
+module Scrub = Dudetm_scrub.Scrub
 module Ptm = Dudetm_baselines.Ptm_intf
 module Dude_ptm = Dudetm_baselines.Dude_ptm
 module Mnemosyne = Dudetm_baselines.Mnemosyne
@@ -50,6 +53,7 @@ let fault_suffix = function
   | Config.No_fault -> ""
   | Config.Early_durable_publish -> "+early-durable"
   | Config.Unfenced_reproduce -> "+unfenced-reproduce"
+  | Config.Skip_crc_verify -> "+skip-crc-verify"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -317,13 +321,18 @@ type outcome = {
   oc_acked : int;
   oc_last_tid : int;
   oc_monitor : string option;
+  oc_survivors : int list;
   oc_recov : recovered;
 }
 
 (* Run the workload once under [strategy].  [crash = Some k] cuts power at
    the [k]-th persist boundary; [crash = None] runs to quiescence.  Either
-   way the device then loses all volatile state and the system recovers. *)
-let run_once ~sut ~wl ~strategy ~crash =
+   way the device then loses all volatile state and the system recovers.
+   [evict = Some (fraction, seed)] leaks a seeded random subset of dirty
+   cache lines into the persisted image at the power cut — the surviving
+   lines are recorded in the outcome, so (fraction, seed) makes the
+   eviction exactly replayable. *)
+let run_once ?evict ~sut ~wl ~strategy ~crash () =
   let inst = sut.fresh () in
   let p = inst.ptm in
   let sites = ref 0 in
@@ -387,7 +396,11 @@ let run_once ~sut ~wl ~strategy ~crash =
   if d > !acked then acked := d;
   let last_tid = p.Ptm.last_tid () in
   Nvm.set_persist_hook inst.inst_nvm None;
-  Nvm.crash inst.inst_nvm;
+  (match evict with
+  | Some (fraction, seed) ->
+    Nvm.crash ~evict_fraction:fraction ~rng:(Rng.create seed) inst.inst_nvm
+  | None -> Nvm.crash inst.inst_nvm);
+  let survivors = Nvm.last_crash_survivors inst.inst_nvm in
   let recov =
     try inst.recover ()
     with e ->
@@ -402,6 +415,7 @@ let run_once ~sut ~wl ~strategy ~crash =
     oc_acked = !acked;
     oc_last_tid = last_tid;
     oc_monitor = !monitor_err;
+    oc_survivors = survivors;
     oc_recov = recov;
   }
 
@@ -439,14 +453,14 @@ let verify ~wl ~quiescent (o : outcome) =
                  o.oc_committed k)
           else wl.check_state ~peek ~k))
 
-let run_and_verify ~sut ~wl ~spec ~crash =
-  let o = run_once ~sut ~wl ~strategy:(strategy_of spec) ~crash in
-  (verify ~wl ~quiescent:(crash = None) o, o)
+let run_and_verify ?evict ~sut ~wl ~spec ~crash () =
+  let o = run_once ?evict ~sut ~wl ~strategy:(strategy_of spec) ~crash () in
+  (verify ~wl ~quiescent:(crash = None && evict = None) o, o)
 
-let replay sut wl ~sched ~crash = fst (run_and_verify ~sut ~wl ~spec:sched ~crash)
+let replay ?evict sut wl ~sched ~crash = fst (run_and_verify ?evict ~sut ~wl ~spec:sched ~crash ())
 
 let count_sites sut wl ~sched =
-  (run_once ~sut ~wl ~strategy:(strategy_of sched) ~crash:None).oc_sites
+  (run_once ~sut ~wl ~strategy:(strategy_of sched) ~crash:None ()).oc_sites
 
 (* ------------------------------------------------------------------ *)
 (* Exploration                                                        *)
@@ -459,6 +473,8 @@ type failure = {
   f_txs : int;
   f_sched : sched_spec;
   f_crash : int option;
+  f_evict : (float * int) option;
+  f_survivors : int list;
   f_reason : string;
 }
 
@@ -473,9 +489,17 @@ let replay_line f =
       ( String.sub f.f_system 0 i,
         " --mutate " ^ String.sub f.f_system (i + 1) (String.length f.f_system - i - 1) )
   in
-  Printf.sprintf "dudetm check --system %s%s --workload %s --threads %d --txs %d --sched %s%s"
+  Printf.sprintf "dudetm check --system %s%s --workload %s --threads %d --txs %d --sched %s%s%s%s"
     system mutate f.f_workload f.f_threads f.f_txs (sched_to_string f.f_sched)
     (match f.f_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+    (match f.f_evict with
+    | None -> ""
+    | Some (fr, seed) -> Printf.sprintf " --evict %g --evict-seed %d" fr seed)
+    (match (f.f_evict, f.f_survivors) with
+    | Some _, [] -> "  # no dirty lines survived the cut"
+    | Some _, l ->
+      "  # surviving lines: " ^ String.concat "," (List.map string_of_int l)
+    | None, _ -> "")
 
 (* Up to [n] boundaries out of [1..s], always covering both ends. *)
 let sample_sites ~s ~n =
@@ -486,9 +510,9 @@ let sample_sites ~s ~n =
 
 (* First failing case under one schedule: the quiescent run first (it also
    counts boundaries), then crash boundaries in ascending order. *)
-let first_failing ~sut ~wl ~spec ~max_sites ~sample ~runs ~sites_total =
+let first_failing ?evict ~sut ~wl ~spec ~max_sites ~sample ~runs ~sites_total () =
   incr runs;
-  let err0, o0 = run_and_verify ~sut ~wl ~spec ~crash:None in
+  let err0, o0 = run_and_verify ?evict ~sut ~wl ~spec ~crash:None () in
   sites_total := !sites_total + o0.oc_sites;
   match err0 with
   | Some r -> Some (None, r)
@@ -503,17 +527,20 @@ let first_failing ~sut ~wl ~spec ~max_sites ~sample ~runs ~sites_total =
         | Some _ -> found
         | None -> (
           incr runs;
-          match replay sut wl ~sched:spec ~crash:(Some k) with
+          match replay ?evict sut wl ~sched:spec ~crash:(Some k) with
           | Some r -> Some (Some k, r)
           | None -> None))
       None site_list
 
-let shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total =
+let shrink ?evict ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total () =
   let scan = 120 in
   let best = ref (wl, spec, crash, reason) in
   (* A default-schedule reproduction beats any seed. *)
   (if spec <> Default then
-     match first_failing ~sut ~wl ~spec:Default ~max_sites:scan ~sample:false ~runs ~sites_total with
+     match
+       first_failing ?evict ~sut ~wl ~spec:Default ~max_sites:scan ~sample:false ~runs
+         ~sites_total ()
+     with
      | Some (c, r) -> best := (wl, Default, c, r)
      | None -> ());
   (* Fewest transactions per thread. *)
@@ -521,7 +548,10 @@ let shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total =
   (try
      for txs = 1 to bwl.txs_per_thread - 1 do
        let wl' = { bwl with txs_per_thread = txs } in
-       match first_failing ~sut ~wl:wl' ~spec:bspec ~max_sites:scan ~sample:false ~runs ~sites_total with
+       match
+         first_failing ?evict ~sut ~wl:wl' ~spec:bspec ~max_sites:scan ~sample:false ~runs
+           ~sites_total ()
+       with
        | Some (c, r) ->
          best := (wl', bspec, c, r);
          raise Exit
@@ -535,7 +565,7 @@ let shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total =
     (try
        for k' = 1 to min (k - 1) scan do
          incr runs;
-         match replay sut bwl ~sched:bspec ~crash:(Some k') with
+         match replay ?evict sut bwl ~sched:bspec ~crash:(Some k') with
          | Some r ->
            best := (bwl, bspec, Some k', r);
            raise Exit
@@ -545,7 +575,7 @@ let shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total =
   | _ -> ());
   !best
 
-let fail_of ~sut (wl, spec, crash, reason) =
+let fail_of ~sut ?evict ?(survivors = []) (wl, spec, crash, reason) =
   {
     f_system = sut.sut_name;
     f_workload = wl.wl_name;
@@ -553,6 +583,8 @@ let fail_of ~sut (wl, spec, crash, reason) =
     f_txs = wl.txs_per_thread;
     f_sched = spec;
     f_crash = crash;
+    f_evict = evict;
+    f_survivors = survivors;
     f_reason = reason;
   }
 
@@ -584,7 +616,7 @@ let explore ~sut ~wl ~budget ~runs ~sites_total =
             if step < budget.exhaustive_depth then dlog := (step, candidates, c) :: !dlog;
             c)
       in
-      let o = run_once ~sut ~wl ~strategy ~crash:None in
+      let o = run_once ~sut ~wl ~strategy ~crash:None () in
       sites_total := !sites_total + o.oc_sites;
       (match verify ~wl ~quiescent:true o with
       | Some r -> result := Some (wl, Prefix prefix, None, r)
@@ -602,7 +634,7 @@ let explore ~sut ~wl ~budget ~runs ~sites_total =
   done;
   !result
 
-let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
+let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) ?evict sut wls =
   let runs = ref 0 in
   let sites_total = ref 0 in
   let failure = ref None in
@@ -614,8 +646,8 @@ let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
           (Printf.sprintf "crash sweep, default schedule (up to %d boundaries)"
              budget.crash_sites);
         (match
-           first_failing ~sut ~wl ~spec:Default ~max_sites:budget.crash_sites ~sample:true
-             ~runs ~sites_total
+           first_failing ?evict ~sut ~wl ~spec:Default ~max_sites:budget.crash_sites
+             ~sample:true ~runs ~sites_total ()
          with
         | Some (c, r) -> failure := Some (wl, Default, c, r)
         | None ->
@@ -623,8 +655,8 @@ let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
              for seed = 1 to budget.sched_seeds do
                note wl (Printf.sprintf "crash sweep, random schedule seed %d" seed);
                match
-                 first_failing ~sut ~wl ~spec:(Seed seed)
-                   ~max_sites:budget.crash_sites_per_seed ~sample:true ~runs ~sites_total
+                 first_failing ?evict ~sut ~wl ~spec:(Seed seed)
+                   ~max_sites:budget.crash_sites_per_seed ~sample:true ~runs ~sites_total ()
                with
                | Some (c, r) ->
                  failure := Some (wl, Seed seed, c, r);
@@ -632,7 +664,7 @@ let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
                | None -> ()
              done
            with Exit -> ());
-          if !failure = None then begin
+          if !failure = None && evict = None then begin
             note wl
               (Printf.sprintf "exhaustive schedule exploration (%d runs, depth %d)"
                  budget.exhaustive_runs budget.exhaustive_depth);
@@ -646,5 +678,211 @@ let check_system ?(budget = tier1_budget ()) ?(log = fun _ -> ()) sut wls =
   | None -> Pass { runs = !runs; sites = !sites_total }
   | Some (wl, spec, crash, reason) ->
     note wl (Printf.sprintf "FAILED (%s); shrinking" reason);
-    let shrunk = shrink ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total in
-    Fail (fail_of ~sut shrunk)
+    let bwl, bspec, bcrash, breason =
+      shrink ?evict ~sut ~wl ~spec ~crash ~reason ~runs ~sites_total ()
+    in
+    (* Rerun the shrunk case once to record which dirty lines leaked: the
+       failure one-liner then pins down the eviction exactly. *)
+    let survivors =
+      match evict with
+      | None -> []
+      | Some _ ->
+        incr runs;
+        (snd (run_and_verify ?evict ~sut ~wl:bwl ~spec:bspec ~crash:bcrash ())).oc_survivors
+    in
+    Fail (fail_of ~sut ?evict ~survivors (bwl, bspec, bcrash, breason))
+
+(* ------------------------------------------------------------------ *)
+(* Media-fault campaign                                               *)
+(* ------------------------------------------------------------------ *)
+
+type media_mode = Heap_rot | Mixed
+
+let media_mode_to_string = function Heap_rot -> "heap" | Mixed -> "mixed"
+
+let media_mode_of_string = function
+  | "heap" -> Heap_rot
+  | "mixed" -> Mixed
+  | s -> invalid_arg ("Check.media_mode_of_string: unknown fault mix " ^ s)
+
+type media_failure = {
+  mf_mode : media_mode;
+  mf_seed : int;
+  mf_crash : int option;
+  mf_fault : Config.fault;
+  mf_faults : string;
+  mf_reason : string;
+}
+
+type media_report = Media_pass of { runs : int; injected : int } | Media_fail of media_failure
+
+let media_replay_line mf =
+  Printf.sprintf "dudetm check --media%s --media-seed %d --faults %s%s  # injected: %s"
+    (match mf.mf_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    mf.mf_seed (media_mode_to_string mf.mf_mode)
+    (match mf.mf_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+    mf.mf_faults
+
+(* Live state of the [counter] workload lives in bytes [0, 72) of the heap
+   (the root counter plus 8 slots), so a flip there always corrupts
+   meaningful data — the campaign's detection oracle is deterministic, not
+   probabilistic.  Distinct (offset, bit) pairs keep two flips from
+   cancelling out. *)
+let live_bytes = 72
+
+let inject_heap_rot nvm rng ~chosen ~descrs =
+  let rec pick () =
+    let off = Rng.int rng live_bytes and bit = Rng.int rng 8 in
+    if Hashtbl.mem chosen (off, bit) then pick ()
+    else begin
+      Hashtbl.add chosen (off, bit) ();
+      (off, bit)
+    end
+  in
+  let off, bit = pick () in
+  Nvm.inject_fault nvm (Nvm.Bit_rot { off; bit });
+  descrs := Printf.sprintf "rot(heap:%d.%d)" off bit :: !descrs
+
+(* Flip a payload bit of the FIRST sealed record of a ring, never the last:
+   damage to the last record is indistinguishable from a torn tail and is
+   (correctly) discarded without being counted, which would defeat the
+   "detected or reported" oracle.  With fewer than two records the ring is
+   left alone and heap rot is injected instead.  [Plog.attach_scan] on a
+   valid header only reads, so this pre-scan does not disturb the device. *)
+let inject_ring_rot cfg nvm rng ~chosen ~descrs =
+  let r = Rng.int rng (Config.plog_regions cfg) in
+  let base = Config.plog_base cfg r in
+  let t, scan = Plog.attach_scan nvm ~base ~size:cfg.Config.plog_size in
+  match scan.Plog.records with
+  | first :: _ :: _ ->
+    let plen = Bytes.length first.Plog.payload in
+    let start = first.Plog.end_off - Plog.record_overhead - plen in
+    let j = Rng.int rng (max 1 plen) in
+    let off =
+      base + Plog.header_size + ((start + 16 + j) mod Plog.data_capacity t)
+    in
+    let bit = Rng.int rng 8 in
+    Nvm.inject_fault nvm (Nvm.Bit_rot { off; bit });
+    descrs := Printf.sprintf "rot(plog%d:rec%d+%d.%d)" r first.Plog.seq j bit :: !descrs
+  | _ -> inject_heap_rot nvm rng ~chosen ~descrs
+
+(* Inject 1-3 seeded faults into the persisted image at the crash point.
+   Poison is injected last so the ring pre-scans above never trip over a
+   line poisoned by an earlier draw. *)
+let inject_faults cfg nvm ~mode ~seed ~descrs =
+  let rng = Rng.create (0x6d656469 lxor seed) in
+  let chosen = Hashtbl.create 8 in
+  let n = 1 + Rng.int rng 3 in
+  let poisons = ref [] in
+  for _ = 1 to n do
+    match mode with
+    | Heap_rot -> inject_heap_rot nvm rng ~chosen ~descrs
+    | Mixed -> (
+      match Rng.int rng 4 with
+      | 0 -> inject_heap_rot nvm rng ~chosen ~descrs
+      | 1 -> inject_ring_rot cfg nvm rng ~chosen ~descrs
+      | 2 ->
+        let line = Rng.int rng (Nvm.size nvm / Nvm.line_size nvm) in
+        poisons := line :: !poisons;
+        descrs := Printf.sprintf "poison(line:%d)" line :: !descrs
+      | _ ->
+        let line = Rng.int rng (cfg.Config.heap_size / Nvm.line_size nvm) in
+        Nvm.inject_fault nvm (Nvm.Stuck_line { line });
+        descrs := Printf.sprintf "stuck(line:%d)" line :: !descrs)
+  done;
+  List.iter (fun line -> Nvm.inject_fault nvm (Nvm.Poison { line })) !poisons;
+  n
+
+(* One campaign run: run the workload (optionally cutting power mid-way),
+   inject seeded media faults into what survived, scrub, then recover.  The
+   oracle is "never silently wrong": the recovered state must either verify
+   like any crash run, or the damage must have been *reported* — by the
+   scrub (non-clean report) or by recovery itself (corrupted records /
+   quarantined lines).  Undetected corruption that changes visible state is
+   the only way to fail. *)
+let media_case ~fault ~mode ~seed ~crash ~runs ~injected =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let wl = counter ~threads:3 ~txs:4 in
+  let descrs = ref [] in
+  let reported = ref false in
+  let fresh () =
+    let p, _t = Dude_ptm.Stm.ptm cfg in
+    let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+    {
+      ptm = p;
+      inst_nvm = nvm;
+      recover =
+        (fun () ->
+          injected := !injected + inject_faults cfg nvm ~mode ~seed ~descrs;
+          let sr = Scrub.scrub ~repair:true ~probe_stuck:true cfg nvm in
+          if not (Scrub.clean sr) then reported := true;
+          if sr.Scrub.ckpt = `Fatal then
+            (* Both checkpoint slots destroyed: the instance is lost, but
+               loudly — that counts as reported, never as silent. *)
+            { rec_durable = Some 0; rec_peek = (fun _ -> 0L) }
+          else begin
+            let p2, _t2, report = Dude_ptm.Stm.attach_ptm cfg nvm in
+            if report.Dudetm.corrupted_records > 0 || report.Dudetm.quarantined_lines > 0
+            then reported := true;
+            { rec_durable = Some report.Dudetm.durable; rec_peek = p2.Ptm.peek }
+          end);
+    }
+  in
+  let sut = { sut_name = "dude" ^ fault_suffix fault; sut_static = false; fresh } in
+  incr runs;
+  let o = run_once ~sut ~wl ~strategy:Sched.min_clock ~crash () in
+  match verify ~wl ~quiescent:false o with
+  | Some reason when not !reported ->
+    Some
+      {
+        mf_mode = mode;
+        mf_seed = seed;
+        mf_crash = crash;
+        mf_fault = fault;
+        mf_faults = String.concat " " (List.rev !descrs);
+        mf_reason = reason;
+      }
+  | _ -> None
+
+let default_media_seeds = 6
+
+let check_media ?(fault = Config.No_fault) ?(seeds = default_media_seeds) ?(log = fun _ -> ())
+    ?mode ?media_seed ?crash () =
+  let runs = ref 0 in
+  let injected = ref 0 in
+  match (mode, media_seed) with
+  | Some mode, Some seed -> (
+    (* Exact replay of one failure one-liner. *)
+    match media_case ~fault ~mode ~seed ~crash ~runs ~injected with
+    | Some mf -> Media_fail mf
+    | None -> Media_pass { runs = !runs; injected = !injected })
+  | _ ->
+    (* Boundary count under the campaign schedule, measured once, gives a
+       deterministic seed-derived crash point for the mid-run cases. *)
+    let sut0 = dude ~fault () in
+    let wl0 = counter ~threads:3 ~txs:4 in
+    let sites = count_sites sut0 wl0 ~sched:Default in
+    let result = ref None in
+    let seed = ref 1 in
+    while !result = None && !seed <= seeds do
+      let s = !seed in
+      log (Printf.sprintf "media: seed %d, heap rot at quiescence" s);
+      result := media_case ~fault ~mode:Heap_rot ~seed:s ~crash:None ~runs ~injected;
+      if !result = None then begin
+        log (Printf.sprintf "media: seed %d, mixed faults at quiescence" s);
+        result := media_case ~fault ~mode:Mixed ~seed:s ~crash:None ~runs ~injected
+      end;
+      if !result = None then begin
+        let k = 1 + (s * 7919 mod max 1 sites) in
+        log (Printf.sprintf "media: seed %d, mixed faults at crash boundary %d" s k);
+        result := media_case ~fault ~mode:Mixed ~seed:s ~crash:(Some k) ~runs ~injected
+      end;
+      incr seed
+    done;
+    (match !result with
+    | None -> Media_pass { runs = !runs; injected = !injected }
+    | Some mf -> Media_fail mf)

@@ -160,6 +160,13 @@ type failure = {
   f_txs : int;
   f_sched : sched_spec;
   f_crash : int option;  (** crash boundary; [None]: power loss after quiescence *)
+  f_evict : (float * int) option;
+      (** cache-eviction adversary in force: (fraction, RNG seed) — each
+          dirty line independently leaked into the persisted image with
+          this probability at the power cut *)
+  f_survivors : int list;
+      (** the dirty lines that actually leaked in the failing run (makes
+          the eviction exactly replayable together with the seed) *)
   f_reason : string;
 }
 
@@ -168,13 +175,80 @@ type report = Pass of { runs : int; sites : int } | Fail of failure
 val replay_line : failure -> string
 (** The deterministically replayable [dudetm check ...] one-liner. *)
 
-val check_system : ?budget:budget -> ?log:(string -> unit) -> sut -> workload list -> report
-(** Run the full exploration.  On the first oracle violation the failing
-    case is shrunk (default schedule preferred, then fewest transactions,
-    then earliest crash boundary) before being reported. *)
+val check_system :
+  ?budget:budget -> ?log:(string -> unit) -> ?evict:float * int -> sut -> workload list -> report
+(** Run the full exploration.  [evict] runs every crash under the
+    cache-eviction adversary: a seeded random subset of dirty lines
+    survives each power cut ({!Dudetm_nvm.Nvm.crash}).  On the first
+    oracle violation the failing case is shrunk (default schedule
+    preferred, then fewest transactions, then earliest crash boundary)
+    before being reported. *)
 
-val replay : sut -> workload -> sched:sched_spec -> crash:int option -> string option
+val replay :
+  ?evict:float * int -> sut -> workload -> sched:sched_spec -> crash:int option -> string option
 (** Re-run one exact case; [Some reason] if the oracle still fails. *)
 
 val count_sites : sut -> workload -> sched:sched_spec -> int
 (** Number of crash boundaries one run of this case passes through. *)
+
+(** {1 Media-fault campaign}
+
+    Beyond clean power cuts, the campaign attacks the {e media}: after a
+    crash (or at quiescence) it injects seeded faults —
+    {!Dudetm_nvm.Nvm.fault} bit rot, poisoned lines, stuck lines — into
+    the persisted image, runs the offline scrub
+    ({!Dudetm_scrub.Scrub.scrub}), recovers, and holds the system to a
+    single obligation: {b never silently wrong}.  Each run must either
+    recover state that passes the normal crash oracle, or the damage must
+    have been {e reported} — a non-clean scrub report, or corrupted
+    records / quarantined lines in the recovery report.  Undetected
+    corruption of visible state is the only failure.
+
+    Heap bit rot is confined to the workload's live bytes so detection is
+    deterministic, and ring rot never targets the last sealed record of a
+    ring (indistinguishable from a torn tail, which is silently and
+    correctly discarded).  The campaign validates itself against the
+    seeded {!Dudetm_core.Config.Skip_crc_verify} mutant, whose skipped
+    checksum audit lets heap rot through unreported. *)
+
+type media_mode =
+  | Heap_rot  (** 1-3 distinct bit flips in the live heap bytes *)
+  | Mixed  (** 1-3 faults drawn from heap rot, ring rot, poison, stuck *)
+
+val media_mode_to_string : media_mode -> string
+
+val media_mode_of_string : string -> media_mode
+(** ["heap" | "mixed"]; raises [Invalid_argument] otherwise. *)
+
+type media_failure = {
+  mf_mode : media_mode;
+  mf_seed : int;  (** fault-injection RNG seed *)
+  mf_crash : int option;  (** crash boundary; [None]: faults at quiescence *)
+  mf_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  mf_faults : string;  (** human-readable list of the injected faults *)
+  mf_reason : string;
+}
+
+type media_report =
+  | Media_pass of { runs : int; injected : int }
+  | Media_fail of media_failure
+
+val media_replay_line : media_failure -> string
+(** The replayable [dudetm check --media ...] one-liner. *)
+
+val check_media :
+  ?fault:Dudetm_core.Config.fault ->
+  ?seeds:int ->
+  ?log:(string -> unit) ->
+  ?mode:media_mode ->
+  ?media_seed:int ->
+  ?crash:int ->
+  unit ->
+  media_report
+(** Run the campaign: for each seed in [1..seeds] (default
+    {!default_media_seeds}), heap rot at quiescence, mixed faults at
+    quiescence, and mixed faults at a seed-derived crash boundary.
+    Passing both [mode] and [media_seed] (with optional [crash]) replays
+    exactly one case instead. *)
+
+val default_media_seeds : int

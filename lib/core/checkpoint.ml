@@ -39,7 +39,7 @@ let encode state ~seq ~slot_size =
   Bytes.set_int64_le b (Bytes.length b - 8) (Int64.of_int32 crc);
   b
 
-let decode nvm ~slot_base ~slot_size =
+let decode_raw nvm ~slot_base ~slot_size =
   let head = Nvm.load_bytes nvm slot_base 24 in
   let seq = Int64.to_int (Bytes.get_int64_le head 0) in
   let upto = Int64.to_int (Bytes.get_int64_le head 8) in
@@ -61,6 +61,11 @@ let decode nvm ~slot_base ~slot_size =
       Some (seq, { reproduced_upto = upto; free_extents = !exts })
     end
   end
+
+let decode nvm ~slot_base ~slot_size =
+  match decode_raw nvm ~slot_base ~slot_size with
+  | exception Nvm.Media_error _ -> None  (* a poisoned slot is just an invalid slot *)
+  | r -> r
 
 let slot_base t i = t.base + (i * t.slot_size)
 
@@ -99,3 +104,23 @@ let write t state =
   t.next_slot <- 1 - t.next_slot
 
 let max_extents t = max_extents_of_slot t.slot_size
+
+let scrub ?(repair = true) nvm ~base ~size =
+  let slot_size = size / 2 in
+  let s0 = decode nvm ~slot_base:base ~slot_size in
+  let s1 = decode nvm ~slot_base:(base + slot_size) ~slot_size in
+  match (s0, s1) with
+  | Some _, Some _ -> `Ok
+  | None, None -> `Fatal
+  | good ->
+    (* One slot damaged: rewrite it from the survivor with an older seq so
+       the survivor stays the one recovery picks. *)
+    if repair then begin
+      let t = { nvm; base; slot_size; next_seq = 0; next_slot = 0 } in
+      (match good with
+      | Some (seq, st), None -> write_slot t 1 st ~seq:(max 0 (seq - 1))
+      | None, Some (seq, st) -> write_slot t 0 st ~seq:(max 0 (seq - 1))
+      | _ -> assert false);
+      `Repaired
+    end
+    else `Degraded

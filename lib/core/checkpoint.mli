@@ -26,3 +26,15 @@ val write : t -> state -> unit
 
 val max_extents : t -> int
 (** How many free extents a slot can hold. *)
+
+val scrub :
+  ?repair:bool ->
+  Dudetm_nvm.Nvm.t ->
+  base:int ->
+  size:int ->
+  [ `Ok | `Repaired | `Degraded | `Fatal ]
+(** Audit both slots without attaching.  [`Ok]: both valid.  One slot
+    invalid (torn, bit-rotted or poisoned): with [repair] (default) the
+    damaged slot is rewritten from the survivor with an older sequence
+    number and the result is [`Repaired]; without, [`Degraded].  [`Fatal]:
+    neither slot validates — the instance cannot recover. *)

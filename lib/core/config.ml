@@ -1,6 +1,6 @@
 type mode = Async | Sync | Inf
 
-type fault = No_fault | Early_durable_publish | Unfenced_reproduce
+type fault = No_fault | Early_durable_publish | Unfenced_reproduce | Skip_crc_verify
 
 type t = {
   heap_size : int;
@@ -24,6 +24,9 @@ type t = {
   flush_cost_per_entry : int;
   compress_cost_per_byte : float;
   reproduce_cost_per_entry : int;
+  crc_extent : int;
+  badline_capacity : int;
+  drain_budget : int;
   seed : int;
   fault : fault;
 }
@@ -51,6 +54,9 @@ let default =
     flush_cost_per_entry = 6;
     compress_cost_per_byte = 2.0;
     reproduce_cost_per_entry = 24;
+    crc_extent = 512;
+    badline_capacity = 64;
+    drain_budget = 200_000_000;
     seed = 42;
     fault = No_fault;
   }
@@ -65,12 +71,27 @@ let heap_base _ = 0
 
 let meta_base t = t.heap_size
 
-let plog_base t i = t.heap_size + t.meta_size + (i * t.plog_size)
+let line_align t n =
+  let line = t.pmem.Dudetm_nvm.Pmem_config.line_size in
+  (n + line - 1) / line * line
+
+let crcdir_base t = t.heap_size + t.meta_size
+
+let crcdir_size t = line_align t (t.heap_size / t.crc_extent * 8)
+
+let badline_base t = crcdir_base t + crcdir_size t
+
+let badline_size t = line_align t ((3 + t.badline_capacity) * 8)
+
+let plog_base t i = badline_base t + badline_size t + (i * t.plog_size)
 
 let nvm_size t =
-  let raw = t.heap_size + t.meta_size + (plog_regions t * t.plog_size) in
-  let line = t.pmem.Dudetm_nvm.Pmem_config.line_size in
-  (raw + line - 1) / line * line
+  (* Pad to a page: the paged shadow views the whole device and requires a
+     page-aligned size (the CRC directory and bad-line table regions are
+     only line-aligned). *)
+  let page = 4096 in
+  let n = line_align t (plog_base t (plog_regions t)) in
+  (n + page - 1) / page * page
 
 let validate t =
   let fail msg = invalid_arg ("Config: " ^ msg) in
@@ -87,6 +108,12 @@ let validate t =
   if (not t.combine) && t.compress then fail "compression requires combination";
   if t.reproduce_batch < 1 then fail "reproduce_batch < 1";
   if t.checkpoint_records < 1 then fail "checkpoint_records < 1";
+  let line = t.pmem.Dudetm_nvm.Pmem_config.line_size in
+  if t.crc_extent < line || t.crc_extent mod line <> 0 then
+    fail "crc_extent must be a positive multiple of the NVM line size";
+  if t.heap_size mod t.crc_extent <> 0 then fail "crc_extent must divide heap_size";
+  if t.badline_capacity < 1 then fail "badline_capacity < 1";
+  if t.drain_budget < 1 then fail "drain_budget < 1";
   (match t.shadow_frames with
   | Some f when f < 2 -> fail "shadow_frames < 2"
   | _ -> ());

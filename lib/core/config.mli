@@ -5,6 +5,8 @@
       [0, heap_size)                      persistent data heap
       [heap_size, +meta_size)             meta block (allocator checkpoint,
                                           reproduced-upto watermark)
+      [.., +crcdir_size)                  per-extent heap CRC directory
+      [.., +badline_size)                 persistent bad-line table
       [.., +plog_regions * plog_size)     persistent redo-log rings
     v} *)
 
@@ -30,6 +32,11 @@ type fault =
       (** Reproduce skips the persist fence on reproduced data before the
           checkpoint watermark advances: a crash after the checkpoint loses
           heap data the recovery believes is already home. *)
+  | Skip_crc_verify
+      (** Scrub skips re-verifying heap extents against the CRC directory:
+          media corruption of checkpointed heap data goes undetected and
+          wrong values are silently served after recovery.  Validates the
+          media-fault campaign ([dudetm check --media]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
@@ -53,6 +60,13 @@ type t = {
   flush_cost_per_entry : int;  (** persist-thread CPU work per entry *)
   compress_cost_per_byte : float;
   reproduce_cost_per_entry : int;
+  crc_extent : int;
+      (** bytes of heap covered per CRC-directory entry; must be a multiple
+          of the NVM line size and divide [heap_size] *)
+  badline_capacity : int;  (** max remappable stuck lines *)
+  drain_budget : int;
+      (** simulated cycles {!Dudetm.drain} may consume before raising
+          [Drain_stalled] with a daemon-state diagnostic *)
   seed : int;
   fault : fault;  (** seeded checker-validation bug; [No_fault] in production *)
 }
@@ -73,6 +87,17 @@ val plog_regions : t -> int
 val heap_base : t -> int
 
 val meta_base : t -> int
+
+val crcdir_base : t -> int
+(** Base of the per-extent heap CRC directory ([heap_size / crc_extent]
+    u64 slots, line-aligned). *)
+
+val crcdir_size : t -> int
+
+val badline_base : t -> int
+(** Base of the persistent bad-line (stuck-line remap) table. *)
+
+val badline_size : t -> int
 
 val plog_base : t -> int -> int
 (** Base offset of ring [i]. *)

@@ -12,16 +12,16 @@ module Tm_intf = Dudetm_tm.Tm_intf
 
 exception Pmem_exhausted
 
+exception Drain_stalled of string
+
 type recovery_report = {
   durable : int;
   replayed_txs : int;
   discarded_txs : int;
   discarded_records : int;
+  corrupted_records : int;
+  quarantined_lines : int;
 }
-
-(* Payload flag bytes: plain vs LZ-compressed record bodies. *)
-let flag_plain = 'P'
-let flag_compressed = 'C'
 
 let pmalloc_cost = 120
 
@@ -50,6 +50,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     vlogs : Vlog.t array;
     plogs : Plog.t array;
     ckpt : Checkpoint.t;
+    crcdir : Crcdir.t;
+    badlines : Badline.t;
+    dirty_extents : (int, unit) Hashtbl.t;  (* heap extents Reproduce touched since last checkpoint *)
     allocator : Alloc.t;  (* current, serves pmalloc *)
     repro_alloc : Alloc.t;  (* allocator state as of [applied] *)
     applied_cell : int ref;  (* = applied; shared with the shadow's gate *)
@@ -95,7 +98,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       let scfg = Shadow.default_config cfg.Config.shadow_mode ~frames in
       Paged (Shadow.create scfg ~nvm ~applied_id:(fun () -> !applied_cell))
 
-  let build cfg nvm ~tid_base ~plogs ~ckpt ~allocator ~repro_alloc =
+  let build cfg nvm ~tid_base ~plogs ~ckpt ~crcdir ~badlines ~allocator ~repro_alloc =
     let applied_cell = ref tid_base in
     let view = make_view cfg nvm applied_cell in
     let tm = Tm.create ~costs:cfg.Config.tm_costs ~seed:cfg.Config.seed (store_of_view view) in
@@ -112,6 +115,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
               ~capacity:cfg.Config.vlog_capacity ());
       plogs;
       ckpt;
+      crcdir;
+      badlines;
+      dirty_extents = Hashtbl.create 256;
       allocator;
       repro_alloc;
       applied_cell;
@@ -143,7 +149,27 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       Checkpoint.format nvm ~base:(Config.meta_base cfg) ~size:cfg.Config.meta_size
         { Checkpoint.reproduced_upto = 0; free_extents = Alloc.extents allocator }
     in
-    build cfg nvm ~tid_base:0 ~plogs ~ckpt ~allocator ~repro_alloc
+    let crcdir = Crcdir.format nvm cfg in
+    let badlines = Badline.format nvm cfg in
+    build cfg nvm ~tid_base:0 ~plogs ~ckpt ~crcdir ~badlines ~allocator ~repro_alloc
+
+  (* Carve every recorded bad line out of the {e serving} allocator so
+     pmalloc never hands out media known to drop writes.  Only the serving
+     side: [repro_alloc] must mirror exactly the logged Alloc/Free history
+     (new allocations already avoid the lines, so no future log entry can
+     overlap them).  A line inside an already-allocated block is skipped —
+     reserve only claims free space. *)
+  let shun_bad_lines t =
+    let ls = Nvm.line_size t.nvm in
+    List.iter
+      (fun l ->
+        let off = l * ls in
+        if off + ls > t.cfg.Config.root_size && off < t.cfg.Config.heap_size then begin
+          let off = max off t.cfg.Config.root_size in
+          let len = min (t.cfg.Config.heap_size - off) ls in
+          try Alloc.reserve t.allocator ~off ~len with Invalid_argument _ -> ()
+        end)
+      (Badline.lines t.badlines)
 
   (* ------------------------------------------------------------------ *)
   (* Durable-ID bookkeeping                                              *)
@@ -263,8 +289,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         let entries = List.init (cut - hd) (fun k -> Vlog.get vlog (hd + k)) in
         let tids = Log_entry.tids entries in
         Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
-        let body = Log_entry.encode_list entries in
-        let payload = Bytes.cat (Bytes.make 1 flag_plain) body in
+        let payload = Log_entry.encode_payload entries in
         (* Seeded mutant (checker self-test only): skip the record's persist
            fence, so the durable ID published below covers a record still
            sitting in the cache — a crash loses transactions the
@@ -352,20 +377,18 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       Stats.add t.stats "combine_writes_in" cstats.Combine.writes_in;
       Stats.add t.stats "combine_writes_out" cstats.Combine.writes_out;
       Sched.advance (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
-      let body = Log_entry.encode_list combined in
       let payload =
         if t.cfg.Config.compress then begin
+          let body = Log_entry.encode_list combined in
           Sched.advance
             (int_of_float
                (float_of_int (Bytes.length body) *. t.cfg.Config.compress_cost_per_byte));
           let comp = Lz.compress body in
           Stats.add t.stats "compress_in_bytes" (Bytes.length body);
           Stats.add t.stats "compress_out_bytes" (Bytes.length comp);
-          if Bytes.length comp < Bytes.length body then
-            Bytes.cat (Bytes.make 1 flag_compressed) comp
-          else Bytes.cat (Bytes.make 1 flag_plain) body
+          Log_entry.encode_payload ~compress:true combined
         end
-        else Bytes.cat (Bytes.make 1 flag_plain) body
+        else Log_entry.encode_payload combined
       in
       let need = Plog.record_overhead + Bytes.length payload in
       if need > Plog.data_capacity t.plogs.(0) then
@@ -426,6 +449,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Array.exists (fun p -> Plog.free_space p < Plog.data_capacity p / 4) t.plogs
 
   let do_checkpoint t =
+    (* Refresh the CRC directory for every heap extent this checkpoint
+       covers.  Reproduce has already persisted those extents (the round's
+       persist_ranges precedes the checkpoint), so latest = persisted there
+       and the recomputed CRCs seal exactly the checkpointed content. *)
+    let extents = Hashtbl.fold (fun e () acc -> e :: acc) t.dirty_extents [] in
+    Hashtbl.reset t.dirty_extents;
+    Crcdir.update t.crcdir extents;
     Checkpoint.write t.ckpt
       {
         Checkpoint.reproduced_upto = t.persisted_data;
@@ -476,7 +506,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         match e with
         | Log_entry.Write { addr; value } ->
           Nvm.store_u64 t.nvm addr value;
-          ranges := (addr, 8) :: !ranges
+          ranges := (addr, 8) :: !ranges;
+          Hashtbl.replace t.dirty_extents (addr / t.cfg.Config.crc_extent) ();
+          Hashtbl.replace t.dirty_extents ((addr + 7) / t.cfg.Config.crc_extent) ()
         | Log_entry.Alloc { off; len } -> Alloc.reserve t.repro_alloc ~off ~len
         | Log_entry.Free { off; len } -> Alloc.free t.repro_alloc ~off ~len
         | Log_entry.Tx_end _ -> ())
@@ -551,11 +583,40 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         done);
     ignore (Sched.spawn ~daemon:true "reproduce" (fun () -> reproduce_loop t))
 
+  let drain_diagnostic t =
+    let vlog_backlog =
+      Array.fold_left (fun acc v -> acc + (Vlog.committed v - Vlog.head v)) 0 t.vlogs
+    in
+    let rings =
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun p -> Printf.sprintf "%d/%d" (Plog.used_space p) (Plog.data_capacity p))
+              t.plogs))
+    in
+    Printf.sprintf
+      "drain stalled after %d cycles: last_tid=%d durable=%d applied=%d checkpointed=%d \
+       vlog_backlog=%d ring_occupancy=[%s] pending_recycle=%d queued_items=%d stop=%b"
+      t.cfg.Config.drain_budget (last_tid t) t.durable (applied t) t.checkpointed vlog_backlog
+      rings
+      (List.length t.pending_recycle)
+      (Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues)
+      t.stop_flag
+
   let drain t =
     t.draining <- true;
+    let deadline = Sched.global_now () + t.cfg.Config.drain_budget in
+    let drained () =
+      let last = last_tid t in
+      t.durable = last && applied t = last
+    in
+    (* The budget catches livelock — daemons burning simulated time without
+       retiring transactions.  (True deadlock already raises
+       [Sched.Deadlock].)  The predicate stays pure; the raise happens back
+       on the caller's fiber. *)
     Sched.wait_until ~label:"drain" (fun () ->
-        let last = last_tid t in
-        t.durable = last && applied t = last)
+        drained () || Sched.global_now () >= deadline);
+    if not (drained ()) then raise (Drain_stalled (drain_diagnostic t))
 
   let stop t =
     drain t;
@@ -688,14 +749,6 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   (* Recovery                                                            *)
   (* ------------------------------------------------------------------ *)
 
-  let decode_payload payload =
-    if Bytes.length payload < 1 then invalid_arg "Dudetm: empty record payload";
-    let body = Bytes.sub payload 1 (Bytes.length payload - 1) in
-    match Bytes.get payload 0 with
-    | c when c = flag_plain -> Log_entry.decode_list body
-    | c when c = flag_compressed -> Log_entry.decode_list (Lz.decompress body)
-    | c -> invalid_arg (Printf.sprintf "Dudetm: bad payload flag %C" c)
-
   let attach cfg nvm =
     Config.validate cfg;
     if Nvm.size nvm <> Config.nvm_size cfg then
@@ -706,17 +759,24 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let regions = Config.plog_regions cfg in
     let attached =
       Array.init regions (fun r ->
-          Plog.attach nvm ~base:(Config.plog_base cfg r) ~size:cfg.Config.plog_size)
+          Plog.attach_scan nvm ~base:(Config.plog_base cfg r) ~size:cfg.Config.plog_size)
     in
     let plogs = Array.map fst attached in
+    let corrupted_records =
+      Array.fold_left (fun acc (_, s) -> acc + s.Plog.corrupted_records) 0 attached
+    in
+    let quarantined_lines =
+      Array.fold_left (fun acc (_, s) -> acc + s.Plog.quarantined_lines) 0 attached
+    in
+    if corrupted_records > 0 then Nvm.note_media_detected nvm corrupted_records;
     (* Collect replay items from every surviving record. *)
     let all_items = ref [] in
     let all_tids = Hashtbl.create 1024 in
     Array.iter
-      (fun (_, records) ->
+      (fun (_, scan) ->
         List.iter
         (fun (record : Plog.record) ->
-          let entries = decode_payload record.Plog.payload in
+          let entries = Log_entry.decode_payload record.Plog.payload in
           let tids = Log_entry.tids entries in
           List.iter (fun tid -> Hashtbl.replace all_tids tid ()) tids;
           if cfg.Config.combine then begin
@@ -730,7 +790,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             List.iter
               (fun (tid, es) -> all_items := (tid, tid, es) :: !all_items)
               (split_txs entries))
-        records)
+        scan.Plog.records)
       attached;
     (* Durable ID: largest contiguous extension of the checkpoint. *)
     let d = ref c in
@@ -749,6 +809,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     in
     (* Replay in transaction-ID order. *)
     let ranges = ref [] in
+    let replayed_extents = Hashtbl.create 64 in
     List.iter
       (fun (_, _, entries) ->
         List.iter
@@ -756,13 +817,21 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             match e with
             | Log_entry.Write { addr; value } ->
               Nvm.store_u64 nvm addr value;
-              ranges := (addr, 8) :: !ranges
+              ranges := (addr, 8) :: !ranges;
+              Hashtbl.replace replayed_extents (addr / cfg.Config.crc_extent) ();
+              Hashtbl.replace replayed_extents ((addr + 7) / cfg.Config.crc_extent) ()
             | Log_entry.Alloc { off; len } -> Alloc.reserve repro_alloc ~off ~len
             | Log_entry.Free { off; len } -> Alloc.free repro_alloc ~off ~len
             | Log_entry.Tx_end _ -> ())
           entries)
       keep;
     Nvm.persist_ranges nvm !ranges;
+    (* Reproduce may have written these same extents after the last
+       checkpoint without refreshing their directory entries (that happens
+       at checkpoint time); the replay just rewrote them, so reseal their
+       CRCs now. *)
+    let crcdir = Crcdir.attach nvm cfg in
+    Crcdir.update crcdir (Hashtbl.fold (fun e () acc -> e :: acc) replayed_extents []);
     Checkpoint.write ckpt
       { Checkpoint.reproduced_upto = d; free_extents = Alloc.extents repro_alloc };
     Array.iter
@@ -771,12 +840,23 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let replayed_txs =
       List.fold_left (fun acc (lo, hi, _) -> acc + (hi - lo + 1)) 0 keep
     in
+    let badlines, _ = Badline.attach nvm cfg in
     let t =
-      build cfg nvm ~tid_base:d ~plogs ~ckpt ~allocator:(Alloc.copy repro_alloc) ~repro_alloc
+      build cfg nvm ~tid_base:d ~plogs ~ckpt ~crcdir ~badlines
+        ~allocator:(Alloc.copy repro_alloc) ~repro_alloc
     in
+    shun_bad_lines t;
     t.persisted_data <- d;
     t.checkpointed <- d;
-    (t, { durable = d; replayed_txs; discarded_txs; discarded_records })
+    ( t,
+      {
+        durable = d;
+        replayed_txs;
+        discarded_txs;
+        discarded_records;
+        corrupted_records;
+        quarantined_lines;
+      } )
 
   (* ------------------------------------------------------------------ *)
   (* Introspection                                                       *)

@@ -23,6 +23,12 @@
 exception Pmem_exhausted
 (** [pmalloc] found no free extent large enough. *)
 
+exception Drain_stalled of string
+(** {!Make.drain} exceeded its simulated-cycle budget
+    ({!Config.drain_budget}) without retiring every committed transaction.
+    The payload is a diagnostic of the stuck pipeline: durable/applied IDs,
+    volatile-log backlog, ring occupancy, queued reproduce items. *)
+
 type recovery_report = {
   durable : int;  (** recovered durable ID: state equals this prefix *)
   replayed_txs : int;  (** durable transactions replayed from logs *)
@@ -33,6 +39,15 @@ type recovery_report = {
   discarded_records : int;  (** log records abandoned for that reason; torn
                                 records are additionally rejected by their
                                 checksums during the scan *)
+  corrupted_records : int;  (** once-sealed records destroyed by media
+                                faults: mid-ring CRC failures bridged by
+                                the tolerant ring scan, plus rings whose
+                                header was lost.  Transactions above the
+                                resulting gap are abandoned (counted in
+                                [discarded_txs]) — reported, never
+                                silently served *)
+  quarantined_lines : int;  (** distinct device lines covered by corrupted
+                                record bytes *)
 }
 
 module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
@@ -60,7 +75,10 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   (** Block until every committed transaction is durable and reproduced.
       Call only after all application threads have stopped issuing
       transactions: the wait covers transactions committed so far, not
-      ones that have yet to begin. *)
+      ones that have yet to begin.  Raises {!Drain_stalled} with a pipeline
+      diagnostic if more than {!Config.drain_budget} simulated cycles pass
+      without the pipeline draining (livelock watchdog; true deadlock
+      raises [Sched.Deadlock] as before). *)
 
   val stop : t -> unit
   (** Ask daemons to exit once drained (they are daemons, so this is only

@@ -73,3 +73,28 @@ let decode_list buf =
 
 let tids entries =
   List.filter_map (function Tx_end { tid } -> Some tid | _ -> None) entries
+
+(* Record-payload framing shared by the engine's Persist step and every
+   reader of persisted records (recovery, scrub): one flag byte marking the
+   body as plain or LZ-compressed, then the serialized entries. *)
+let flag_plain = 'P'
+
+let flag_compressed = 'C'
+
+let encode_payload ?(compress = false) entries =
+  let body = encode_list entries in
+  if compress then begin
+    let comp = Lz.compress body in
+    if Bytes.length comp < Bytes.length body then
+      Bytes.cat (Bytes.make 1 flag_compressed) comp
+    else Bytes.cat (Bytes.make 1 flag_plain) body
+  end
+  else Bytes.cat (Bytes.make 1 flag_plain) body
+
+let decode_payload payload =
+  if Bytes.length payload < 1 then invalid_arg "Log_entry.decode_payload: empty payload";
+  let body = Bytes.sub payload 1 (Bytes.length payload - 1) in
+  match Bytes.get payload 0 with
+  | c when c = flag_plain -> decode_list body
+  | c when c = flag_compressed -> decode_list (Lz.decompress body)
+  | c -> invalid_arg (Printf.sprintf "Log_entry.decode_payload: bad flag %C" c)

@@ -32,3 +32,13 @@ val decode_list : bytes -> t list
 
 val tids : t list -> int list
 (** Transaction IDs of all [Tx_end] marks, in order of appearance. *)
+
+val encode_payload : ?compress:bool -> t list -> bytes
+(** Serialize entries as a persistent-record payload: a one-byte plain /
+    LZ-compressed flag followed by the body.  With [compress] the body is
+    LZ-compressed only when that actually shrinks it. *)
+
+val decode_payload : bytes -> t list
+(** Inverse of {!encode_payload}; raises [Invalid_argument] on a bad flag
+    or malformed body.  Shared by engine recovery and the scrub subsystem
+    so every reader of persisted records agrees on the framing. *)

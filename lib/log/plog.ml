@@ -12,6 +12,13 @@ type t = {
 
 type record = { seq : int; payload : bytes; end_off : int }
 
+type scan = {
+  records : record list;
+  corrupted_records : int;
+  quarantined_lines : int;
+  header_lost : bool;
+}
+
 let header_size = 64
 
 let record_overhead = 24  (* len u64, seq u64, crc u64 *)
@@ -51,13 +58,17 @@ let persist_wrapped t off len =
     Nvm.persist t.nvm ~off:(data_base t) ~len:(len - first)
   end
 
+(* Header layout: magic u64, head u64, head_seq u64, crc u64 (over the
+   first 24 bytes) — the CRC lets recovery distinguish a corrupted header
+   from an unformatted region. *)
 let persist_header t =
-  let b = Bytes.create 24 in
+  let b = Bytes.create 32 in
   Bytes.set_int64_le b 0 magic;
   Bytes.set_int64_le b 8 (Int64.of_int t.head);
   Bytes.set_int64_le b 16 (Int64.of_int t.head_seq);
+  Bytes.set_int64_le b 24 (Int64.of_int32 (Checksum.crc32 b 0 24));
   Nvm.store_bytes t.nvm t.base b;
-  Nvm.persist t.nvm ~off:t.base ~len:24
+  Nvm.persist t.nvm ~off:t.base ~len:32
 
 let format nvm ~base ~size =
   if size <= header_size + record_overhead then invalid_arg "Plog.format: region too small";
@@ -72,38 +83,156 @@ let frame_crc ~len ~seq payload =
   let c = Checksum.crc32_bytes hdr in
   Checksum.crc32 ~init:c payload 0 (Bytes.length payload)
 
-let attach nvm ~base ~size =
-  if size <= header_size + record_overhead then invalid_arg "Plog.attach: region too small";
-  let dcap = size - header_size in
-  if Nvm.load_u64 nvm base <> magic then invalid_arg "Plog.attach: bad magic";
-  let head = Int64.to_int (Nvm.load_u64 nvm (base + 8)) in
-  let head_seq = Int64.to_int (Nvm.load_u64 nvm (base + 16)) in
-  let t = { nvm; base; dcap; head; tail = head; head_seq; seq = head_seq } in
-  let records = ref [] in
-  let continue = ref true in
-  while !continue do
-    let scanned = t.tail - t.head in
-    if scanned + record_overhead > t.dcap then continue := false
-    else begin
-      let frame = read_wrapped t t.tail record_overhead in
+(* How far past a corrupted record the scan searches for the next valid
+   frame, in records: bounds the seq gap a resync will accept so stale
+   frames from long-dead laps are never mistaken for live records. *)
+let max_resync_gap = 64
+
+(* Validate a candidate frame at monotone offset [off]: its length must fit
+   the remaining ring space, its seq must sit in (last_seq, last_seq +
+   max_resync_gap], and the payload CRC must match.  Reads that hit
+   poisoned lines count as invalid. *)
+let probe_frame t ~off ~min_seq =
+  let scanned = off - t.head in
+  if scanned + record_overhead > t.dcap then None
+  else
+    match read_wrapped t off record_overhead with
+    | exception Nvm.Media_error _ -> None
+    | frame ->
       let len = Int64.to_int (Bytes.get_int64_le frame 0) in
       let seq = Int64.to_int (Bytes.get_int64_le frame 8) in
       let crc = Int64.to_int32 (Bytes.get_int64_le frame 16) in
-      if len < 0 || scanned + record_overhead + len > t.dcap || seq <> t.seq then
-        continue := false
+      if
+        len < 0
+        || scanned + record_overhead + len > t.dcap
+        || seq < min_seq
+        || seq > min_seq + max_resync_gap
+      then None
       else begin
-        let payload = read_wrapped t (t.tail + record_overhead) len in
-        if frame_crc ~len ~seq payload <> crc then continue := false
-        else begin
-          let end_off = t.tail + record_overhead + len in
-          records := { seq; payload; end_off } :: !records;
-          t.tail <- end_off;
-          t.seq <- seq + 1
-        end
+        match read_wrapped t (off + record_overhead) len with
+        | exception Nvm.Media_error _ -> None
+        | payload ->
+          if frame_crc ~len ~seq payload <> crc then None
+          else Some { seq; payload; end_off = off + record_overhead + len }
       end
-    end
+
+(* Distinct device lines covered by monotone data-area range [lo, hi). *)
+let lines_of_range t ~lo ~hi acc =
+  let ls = Nvm.line_size t.nvm in
+  let add acc addr_lo addr_hi =
+    let rec go l acc = if l * ls >= addr_hi then acc else go (l + 1) ((l, ()) :: acc) in
+    go (addr_lo / ls) acc
+  in
+  let len = hi - lo in
+  if len <= 0 then acc
+  else begin
+    let s = lo mod t.dcap in
+    if s + len <= t.dcap then add acc (data_base t + s) (data_base t + s + len)
+    else
+      let first = t.dcap - s in
+      add (add acc (data_base t + s) (data_base t + s + first)) (data_base t) (data_base t + len - first)
+  end
+
+let read_header nvm base =
+  match Nvm.load_bytes nvm base 32 with
+  | exception Nvm.Media_error _ -> None
+  | b ->
+    if Bytes.get_int64_le b 0 <> magic then None
+    else if Int64.to_int32 (Bytes.get_int64_le b 24) <> Checksum.crc32 b 0 24 then None
+    else
+      Some (Int64.to_int (Bytes.get_int64_le b 8), Int64.to_int (Bytes.get_int64_le b 16))
+
+(* A lost header loses the head cursor, and with it every record in the
+   ring.  To keep the ring usable we reformat it — but new appends must
+   never collide with stale, still-intact frames from before the loss, so
+   the fresh seq starts past the largest plausible seq found anywhere in
+   the data area. *)
+let salvage_next_seq t =
+  let best = ref 0 in
+  for off = 0 to t.dcap - record_overhead do
+    match read_wrapped t off record_overhead with
+    | exception Nvm.Media_error _ -> ()
+    | frame ->
+      let len = Int64.to_int (Bytes.get_int64_le frame 0) in
+      let seq = Int64.to_int (Bytes.get_int64_le frame 8) in
+      let crc = Int64.to_int32 (Bytes.get_int64_le frame 16) in
+      if len >= 0 && len <= t.dcap - record_overhead && seq > !best then begin
+        match read_wrapped t (off + record_overhead) len with
+        | exception Nvm.Media_error _ -> ()
+        | payload -> if frame_crc ~len ~seq payload = crc then best := seq
+      end
   done;
-  (t, List.rev !records)
+  !best + 1
+
+let attach_scan nvm ~base ~size =
+  if size <= header_size + record_overhead then invalid_arg "Plog.attach: region too small";
+  let dcap = size - header_size in
+  match read_header nvm base with
+  | None ->
+    (* Header corrupt or poisoned: every record is unreachable.  Reformat
+       with a seq jump past any stale frame so the ring stays usable. *)
+    let t = { nvm; base; dcap; head = 0; tail = 0; head_seq = 0; seq = 0 } in
+    let next = salvage_next_seq t in
+    t.head_seq <- next;
+    t.seq <- next;
+    persist_header t;
+    (t, { records = []; corrupted_records = 1; quarantined_lines = 0; header_lost = true })
+  | Some (head, head_seq) ->
+    let t = { nvm; base; dcap; head; tail = head; head_seq; seq = head_seq } in
+    let records = ref [] in
+    let corrupted = ref 0 in
+    let qlines = ref [] in
+    let continue = ref true in
+    while !continue do
+      match probe_frame t ~off:t.tail ~min_seq:t.seq with
+      | Some r ->
+        records := r :: !records;
+        t.tail <- r.end_off;
+        t.seq <- r.seq + 1
+      | None ->
+        (* Either the torn tail of the ring, or a corrupted record
+           mid-ring.  Search forward for the next valid frame with a later
+           seq; finding one proves the invalid bytes were a once-sealed
+           record (or records) damaged in place — quarantine the gap. *)
+        let found = ref None in
+        let off = ref (t.tail + 1) in
+        let limit = t.head + t.dcap - record_overhead in
+        while !found = None && !off <= limit do
+          (match probe_frame t ~off:!off ~min_seq:(t.seq + 1) with
+          | Some r -> found := Some (!off, r)
+          | None -> ());
+          incr off
+        done;
+        (match !found with
+        | None -> continue := false
+        | Some (at, r) ->
+          corrupted := !corrupted + (r.seq - t.seq);
+          qlines := lines_of_range t ~lo:t.tail ~hi:at !qlines;
+          records := r :: !records;
+          t.tail <- r.end_off;
+          t.seq <- r.seq + 1)
+    done;
+    let quarantined_lines =
+      let h = Hashtbl.create 16 in
+      List.iter (fun (l, ()) -> Hashtbl.replace h l ()) !qlines;
+      Hashtbl.length h
+    in
+    ( t,
+      {
+        records = List.rev !records;
+        corrupted_records = !corrupted;
+        quarantined_lines;
+        header_lost = false;
+      } )
+
+let attach nvm ~base ~size =
+  (* Refuse an unreadable header WITHOUT the reformatting side effect of
+     {!attach_scan}: a caller that wants the strict contract must not find
+     the ring silently re-initialized under the raised exception. *)
+  if size <= header_size + record_overhead then invalid_arg "Plog.attach: region too small";
+  if read_header nvm base = None then invalid_arg "Plog.attach: bad magic";
+  let t, scan = attach_scan nvm ~base ~size in
+  (t, scan.records)
 
 let data_capacity t = t.dcap
 

@@ -7,10 +7,17 @@
     (Sections 3.3, 3.5).  A torn record fails its CRC and recovery discards
     it together with everything after it in this ring.
 
-    Only the head (recycle) cursor is persistent; the tail is rediscovered
-    after a crash by scanning records, validated by a per-record sequence
-    number so stale data from previous laps can never be mistaken for live
-    records. *)
+    Only the head (recycle) cursor is persistent (sealed by its own CRC);
+    the tail is rediscovered after a crash by scanning records, validated by
+    a per-record sequence number so stale data from previous laps can never
+    be mistaken for live records.
+
+    Beyond the torn tail a clean crash can leave, media faults can damage a
+    record {e mid-ring} or destroy the header itself.  {!attach_scan}
+    tolerates both: it resynchronizes past corrupted records (quarantining
+    the damaged bytes and reporting how many sealed records were lost) and
+    reformats a ring whose header is unreadable, salvaging a safe next
+    sequence number so stale frames are never resurrected. *)
 
 type t
 
@@ -18,6 +25,20 @@ type record = {
   seq : int;  (** per-ring record number, contiguous *)
   payload : bytes;  (** serialized {!Log_entry} list *)
   end_off : int;  (** monotone offset one past this record (for recycling) *)
+}
+
+(** Result of a fault-tolerant ring scan. *)
+type scan = {
+  records : record list;  (** surviving valid records, in seq order *)
+  corrupted_records : int;
+      (** sealed records lost to mid-ring corruption (gaps in the seq
+          sequence bridged by resync), or 1 when the header itself was
+          lost *)
+  quarantined_lines : int;
+      (** distinct device lines covered by corrupted record bytes *)
+  header_lost : bool;
+      (** the persistent header failed its magic/CRC check and the ring was
+          reformatted (every record lost) *)
 }
 
 val header_size : int
@@ -33,7 +54,18 @@ val format : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t
 val attach : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t * record list
 (** Re-open a ring after a crash: reads the persistent head cursor, scans
     and validates records, repositions the tail after the last valid
-    record, and returns the surviving records in order. *)
+    record, and returns the surviving records in order.  Raises
+    [Invalid_argument] if the header is unreadable (use {!attach_scan} to
+    tolerate that). *)
+
+val attach_scan : Dudetm_nvm.Nvm.t -> base:int -> size:int -> t * scan
+(** Media-fault-tolerant {!attach}.  A record that fails validation
+    mid-ring (CRC mismatch, poisoned line, implausible frame) does not end
+    the scan: the scanner searches forward for the next valid frame with a
+    later sequence number, quarantines the damaged gap, and continues — so
+    one corrupted record loses that record, not the whole ring suffix.  A
+    ring whose header fails its magic/CRC check is reformatted with a
+    salvaged sequence number ([header_lost = true]). *)
 
 val data_capacity : t -> int
 

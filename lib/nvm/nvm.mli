@@ -11,9 +11,35 @@
     {!crash} drops the volatile side.  To model the CPU's {e uncontrolled}
     cache evictions — the hazard DudeTM's design sidesteps by never storing
     dirty data to NVM addresses directly — a crash can also leak a random
-    subset of dirty lines into the persisted image. *)
+    subset of dirty lines into the persisted image.
+
+    Beyond clean power cuts, the device also models {e media faults}
+    ({!inject_fault}): silent bit rot in the persisted image, stuck-at
+    lines that ignore writes, and poisoned (uncorrectable) lines whose
+    reads raise {!Media_error} — plus an optional seeded background-decay
+    process.  Media faults survive crashes; they are properties of the
+    device, not of the cache. *)
 
 type t
+
+exception Media_error of int
+(** Raised when a read reaches a poisoned (uncorrectable) region of the
+    media; the payload is the byte address of the poisoned line's base.
+    Models the machine-check a real platform raises on an uncorrectable
+    NVM read. *)
+
+(** A media fault applied to the {e persisted} image. *)
+type fault =
+  | Bit_rot of { off : int; bit : int }
+      (** Silently flip bit [bit land 7] of persisted byte [off]. *)
+  | Stuck_line of { line : int }
+      (** The line keeps its current persisted content forever: subsequent
+          flushes are silently dropped (and the cached copy reverts on
+          flush, as a real read-after-writeback would observe). *)
+  | Poison of { line : int }
+      (** Reads of the line raise {!Media_error} until it is repaired by
+          rewriting: flushing fresh data over a poisoned line clears the
+          poison. *)
 
 val create : ?charge_time:bool -> Pmem_config.t -> size:int -> t
 (** [create cfg ~size] makes a device of [size] bytes, zero-filled and fully
@@ -23,6 +49,47 @@ val create : ?charge_time:bool -> Pmem_config.t -> size:int -> t
 val size : t -> int
 
 val config : t -> Pmem_config.t
+
+val line_size : t -> int
+
+(** {1 Media faults} *)
+
+val inject_fault : t -> fault -> unit
+(** Apply one fault to the persisted image (counted by
+    {!media_faults_injected}).  [Bit_rot] is also reflected into the
+    volatile image when the covering line is clean, since a clean cache
+    line mirrors the media. *)
+
+val is_poisoned : t -> line:int -> bool
+
+val is_stuck : t -> line:int -> bool
+
+val poisoned_lines : t -> int list
+(** Currently poisoned lines, ascending (ground truth, for tests). *)
+
+val stuck_lines : t -> int list
+
+val set_decay : t -> (float * int * int) option -> unit
+(** [set_decay t (Some (rate, epoch, seed))] turns on seeded background
+    decay: every [epoch] simulated cycles, an expected [rate] fraction of
+    persisted lines suffers a random single-bit flip.  Decay is evaluated
+    lazily at persist boundaries.  [None] turns it off. *)
+
+val decay_tick : t -> unit
+(** Force one decay epoch immediately (tests and campaigns). *)
+
+val media_faults_injected : t -> int
+(** Faults injected so far, including background decay. *)
+
+val media_faults_detected : t -> int
+
+val media_faults_repaired : t -> int
+
+val note_media_detected : t -> int -> unit
+(** Bump the detected-fault counter: called by layers (recovery, scrub)
+    that recognise corruption via checksums or {!Media_error}. *)
+
+val note_media_repaired : t -> int -> unit
 
 (** {1 Volatile-side access (CPU loads/stores)} *)
 
@@ -73,10 +140,22 @@ val crash : ?evict_fraction:float -> ?rng:Dudetm_sim.Rng.t -> t -> unit
 (** Simulate a power failure: each dirty line independently survives with
     probability [evict_fraction] (default 0 — none survive, the adversarial
     tests sweep this), then all volatile state is discarded and [latest] is
-    reloaded from the persisted image. *)
+    reloaded from the persisted image.  Media faults (poison, stuck lines)
+    persist across the crash. *)
+
+val last_crash_survivors : t -> int list
+(** The dirty lines that leaked into the persisted image during the most
+    recent {!crash}, ascending.  Together with the eviction RNG seed this
+    makes evicting crashes exactly replayable (the checker records both in
+    its failure one-liners). *)
 
 val persisted_u64 : t -> int -> int64
-(** Read the persisted image directly (for tests and recovery checks). *)
+(** Read the persisted image directly (for tests and recovery checks).
+    Raises {!Media_error} on a poisoned line. *)
+
+val persisted_bytes : t -> int -> int -> bytes
+(** Read a persisted byte range (scrub and checksum audits).  Raises
+    {!Media_error} if any covered line is poisoned. *)
 
 val persisted_bytes_equal : t -> int -> bytes -> bool
 (** [persisted_bytes_equal t off b] checks the persisted image against [b]. *)

@@ -132,6 +132,39 @@ let test_replay_past_last_site () =
   | None -> ()
   | Some reason -> Alcotest.failf "quiescent run past last site failed: %s" reason
 
+(* -------------------------------------------------------------------- *)
+(* Media-fault campaign                                                   *)
+(* -------------------------------------------------------------------- *)
+
+(* The clean engine under seeded corruption: every run either recovers
+   fully or the loss is reported — never silently wrong data. *)
+let test_media_clean_engine () =
+  match Check.check_media ~seeds:2 () with
+  | Check.Media_pass { runs; injected } ->
+    Alcotest.(check bool) "campaign ran and injected faults" true
+      (runs > 0 && injected > 0)
+  | Check.Media_fail mf ->
+    Alcotest.failf "clean engine failed the media campaign: %s\n  %s"
+      mf.Check.mf_reason
+      (Check.media_replay_line mf)
+
+(* The seeded detection-bypass mutant (CRC verification skipped) must be
+   caught: corruption then reaches recovered state with nothing reported. *)
+let test_media_mutant_skip_crc () =
+  match Check.check_media ~fault:Config.Skip_crc_verify ~seeds:3 () with
+  | Check.Media_pass _ ->
+    Alcotest.fail "skip-crc-verify mutant escaped the media campaign"
+  | Check.Media_fail mf ->
+    (* The recorded failure replays deterministically. *)
+    (match
+       Check.check_media ~fault:Config.Skip_crc_verify ~mode:mf.Check.mf_mode
+         ~media_seed:mf.Check.mf_seed ?crash:mf.Check.mf_crash ()
+     with
+    | Check.Media_fail _ -> ()
+    | Check.Media_pass _ ->
+      Alcotest.failf "media failure did not replay: %s"
+        (Check.media_replay_line mf))
+
 let suite =
   [
     Alcotest.test_case "clean: dude" `Quick test_clean_dude;
@@ -149,4 +182,8 @@ let suite =
     Alcotest.test_case "budget env knob" `Quick test_budget_knob;
     Alcotest.test_case "replay past last site is quiescent" `Quick
       test_replay_past_last_site;
+    Alcotest.test_case "media campaign: clean engine never silently wrong"
+      `Quick test_media_clean_engine;
+    Alcotest.test_case "media campaign: skip-crc-verify mutant caught" `Quick
+      test_media_mutant_skip_crc;
   ]

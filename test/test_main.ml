@@ -15,4 +15,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("kv", Test_kv.suite);
       ("check", Test_check.suite);
+      ("scrub", Test_scrub.suite);
+      ("media", Test_media.suite);
     ]

@@ -120,6 +120,90 @@ let test_dirty_lines_tracking () =
   Nvm.persist_all d;
   check Alcotest.int "clean after persist_all" 0 (Nvm.dirty_lines d)
 
+(* ---------------------------- media faults ---------------------------- *)
+
+let test_bit_rot () =
+  let d = device () in
+  Nvm.store_u64 d 0 0L;
+  Nvm.persist d ~off:0 ~len:8;
+  Nvm.inject_fault d (Nvm.Bit_rot { off = 0; bit = 3 });
+  check Alcotest.int64 "persisted bit flipped" 8L (Nvm.persisted_u64 d 0);
+  check Alcotest.int64 "clean cached line mirrors the media" 8L (Nvm.load_u64 d 0);
+  check Alcotest.int "injection counted" 1 (Nvm.media_faults_injected d)
+
+let test_bit_rot_shadowed_by_dirty_line () =
+  let d = device () in
+  Nvm.store_u64 d 0 5L (* line dirty: the cache shadows the media *);
+  Nvm.inject_fault d (Nvm.Bit_rot { off = 0; bit = 0 });
+  check Alcotest.int64 "dirty line shadows media rot" 5L (Nvm.load_u64 d 0);
+  Nvm.persist d ~off:0 ~len:8;
+  check Alcotest.int64 "writeback overwrites the rotten byte" 5L (Nvm.persisted_u64 d 0)
+
+let test_poison_raises_and_rewrite_repairs () =
+  let d = device () in
+  Nvm.store_u64 d 0 7L;
+  Nvm.persist d ~off:0 ~len:8;
+  Nvm.crash d (* every line clean: loads reach the media *);
+  Nvm.inject_fault d (Nvm.Poison { line = 0 });
+  check Alcotest.bool "is_poisoned" true (Nvm.is_poisoned d ~line:0);
+  Alcotest.check_raises "clean-line load raises" (Nvm.Media_error 0) (fun () ->
+      ignore (Nvm.load_u64 d 0));
+  Alcotest.check_raises "persisted read raises" (Nvm.Media_error 0) (fun () ->
+      ignore (Nvm.persisted_u64 d 0));
+  (* Rewriting fresh data over the line clears the poison. *)
+  Nvm.store_u64 d 0 9L;
+  Nvm.persist d ~off:0 ~len:8;
+  check Alcotest.bool "flush clears poison" false (Nvm.is_poisoned d ~line:0);
+  check Alcotest.int64 "fresh data readable" 9L (Nvm.load_u64 d 0)
+
+let test_poison_survives_crash () =
+  let d = device () in
+  Nvm.inject_fault d (Nvm.Poison { line = 2 });
+  Nvm.crash d;
+  check Alcotest.bool "poison survives crash" true (Nvm.is_poisoned d ~line:2);
+  check Alcotest.(list int) "poisoned_lines" [ 2 ] (Nvm.poisoned_lines d)
+
+let test_stuck_line_drops_writes () =
+  let d = device () in
+  Nvm.store_u64 d 64 1L;
+  Nvm.persist d ~off:64 ~len:8;
+  Nvm.inject_fault d (Nvm.Stuck_line { line = 1 });
+  Nvm.store_u64 d 64 2L;
+  Nvm.persist d ~off:64 ~len:8;
+  check Alcotest.int64 "writeback dropped by stuck line" 1L (Nvm.persisted_u64 d 64);
+  check Alcotest.int64 "cached copy reverts on flush (read-after-writeback)" 1L
+    (Nvm.load_u64 d 64);
+  Nvm.crash d;
+  check Alcotest.bool "stuck survives crash" true (Nvm.is_stuck d ~line:1);
+  check Alcotest.(list int) "stuck_lines" [ 1 ] (Nvm.stuck_lines d)
+
+let test_background_decay () =
+  let d = device ~size:65536 () in
+  for i = 0 to 1023 do
+    Nvm.store_u64 d (i * 64) 1L
+  done;
+  Nvm.persist_all d;
+  Nvm.set_decay d (Some (0.25, 1_000, 42));
+  let before = Nvm.media_faults_injected d in
+  Nvm.decay_tick d;
+  check Alcotest.bool "decay injects seeded faults" true
+    (Nvm.media_faults_injected d > before);
+  Nvm.set_decay d None;
+  let stable = Nvm.media_faults_injected d in
+  Nvm.decay_tick d;
+  check Alcotest.int "decay off injects nothing" stable (Nvm.media_faults_injected d)
+
+let test_crash_survivors_recorded () =
+  let d = device ~size:65536 () in
+  Nvm.store_u64 d 0 1L;
+  Nvm.store_u64 d 640 2L;
+  Nvm.crash ~evict_fraction:1.0 ~rng:(Rng.create 3) d;
+  check Alcotest.(list int) "every dirty line recorded as survivor" [ 0; 10 ]
+    (Nvm.last_crash_survivors d);
+  Nvm.store_u64 d 128 3L;
+  Nvm.crash d;
+  check Alcotest.(list int) "fraction-0 crash leaks nothing" [] (Nvm.last_crash_survivors d)
+
 let test_mem_alignment () =
   let m = Mem.create 64 in
   Alcotest.check_raises "unaligned u64 access rejected"
@@ -171,6 +255,15 @@ let suite =
     Alcotest.test_case "persist_ranges is one ordering" `Quick test_persist_ranges_single_ordering;
     Alcotest.test_case "double crash idempotent" `Quick test_double_crash_idempotent;
     Alcotest.test_case "dirty line tracking" `Quick test_dirty_lines_tracking;
+    Alcotest.test_case "bit rot flips persisted data" `Quick test_bit_rot;
+    Alcotest.test_case "bit rot shadowed by dirty line" `Quick
+      test_bit_rot_shadowed_by_dirty_line;
+    Alcotest.test_case "poison raises; rewrite repairs" `Quick
+      test_poison_raises_and_rewrite_repairs;
+    Alcotest.test_case "poison survives crash" `Quick test_poison_survives_crash;
+    Alcotest.test_case "stuck line drops writes" `Quick test_stuck_line_drops_writes;
+    Alcotest.test_case "seeded background decay" `Quick test_background_decay;
+    Alcotest.test_case "crash survivors recorded" `Quick test_crash_survivors_recorded;
     Alcotest.test_case "unaligned access rejected" `Quick test_mem_alignment;
     QCheck_alcotest.to_alcotest prop_persist_crash_prefix;
   ]

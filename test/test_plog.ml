@@ -102,6 +102,81 @@ let test_crash_before_header_persist_keeps_old_head () =
   let _, records = Plog.attach nvm ~base:0 ~size:4096 in
   check Alcotest.int "all five records re-exposed" 5 (List.length records)
 
+(* --------------------------- media faults ----------------------------- *)
+
+(* Device byte offset of payload byte [j] of a record in a base-0 ring. *)
+let payload_byte_off t (r : Plog.record) j =
+  let start = r.Plog.end_off - Plog.record_overhead - Bytes.length r.Plog.payload in
+  Plog.header_size + ((start + 16 + j) mod Plog.data_capacity t)
+
+let test_midring_corruption_quarantined () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  let r1 = Plog.append t (payload "the doomed record") in
+  let r2 = Plog.append t (payload "second") in
+  let r3 = Plog.append t (payload "third") in
+  ignore r2;
+  Nvm.inject_fault nvm (Nvm.Bit_rot { off = payload_byte_off t r1 3; bit = 5 });
+  Nvm.crash nvm;
+  let _, scan = Plog.attach_scan nvm ~base:0 ~size:4096 in
+  check Alcotest.(list int) "scan resyncs past the damage"
+    [ r2.Plog.seq; r3.Plog.seq ]
+    (List.map (fun (r : Plog.record) -> r.Plog.seq) scan.Plog.records);
+  check Alcotest.int "one sealed record lost" 1 scan.Plog.corrupted_records;
+  check Alcotest.bool "damaged lines quarantined" true (scan.Plog.quarantined_lines >= 1);
+  check Alcotest.bool "header intact" false scan.Plog.header_lost
+
+let test_last_record_corruption_is_torn_tail () =
+  (* Damage to the LAST sealed record is indistinguishable from a torn
+     tail: it is discarded like one, without being counted as corruption. *)
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  let r1 = Plog.append t (payload "first") in
+  let r2 = Plog.append t (payload "last, to be damaged") in
+  Nvm.inject_fault nvm (Nvm.Bit_rot { off = payload_byte_off t r2 0; bit = 1 });
+  Nvm.crash nvm;
+  let _, scan = Plog.attach_scan nvm ~base:0 ~size:4096 in
+  check Alcotest.(list int) "prefix survives" [ r1.Plog.seq ]
+    (List.map (fun (r : Plog.record) -> r.Plog.seq) scan.Plog.records);
+  check Alcotest.int "counted as torn tail, not corruption" 0 scan.Plog.corrupted_records
+
+let test_poisoned_record_quarantined () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  (* A >64-byte first record keeps the second record clear of line 1. *)
+  let r1 = Plog.append t (Bytes.make 100 'a') in
+  let r2 = Plog.append t (payload "second") in
+  let r3 = Plog.append t (payload "third") in
+  ignore r1;
+  Nvm.crash nvm;
+  Nvm.inject_fault nvm (Nvm.Poison { line = 1 });
+  let _, scan = Plog.attach_scan nvm ~base:0 ~size:4096 in
+  check Alcotest.(list int) "scan survives a poisoned record"
+    [ r2.Plog.seq; r3.Plog.seq ]
+    (List.map (fun (r : Plog.record) -> r.Plog.seq) scan.Plog.records);
+  check Alcotest.int "poisoned record counted" 1 scan.Plog.corrupted_records
+
+let test_header_loss_reformats_with_salvaged_seq () =
+  let nvm = device () in
+  let t = Plog.format nvm ~base:0 ~size:4096 in
+  ignore (Plog.append t (payload "zero"));
+  ignore (Plog.append t (payload "one"));
+  (* Flip a bit inside the sealed header: its CRC check must fail. *)
+  Nvm.inject_fault nvm (Nvm.Bit_rot { off = 8; bit = 0 });
+  Nvm.crash nvm;
+  Alcotest.check_raises "plain attach refuses the lost header"
+    (Invalid_argument "Plog.attach: bad magic") (fun () ->
+      ignore (Plog.attach nvm ~base:0 ~size:4096));
+  let t', scan = Plog.attach_scan nvm ~base:0 ~size:4096 in
+  check Alcotest.bool "header loss detected" true scan.Plog.header_lost;
+  check Alcotest.int "every record lost" 0 (List.length scan.Plog.records);
+  (* The salvaged sequence number must leap past every frame still readable
+     in the ring, or a later lap could resurrect them. *)
+  check Alcotest.int "salvaged next_seq past all stale frames" 2 (Plog.next_seq t');
+  (* The reformatted ring is usable again. *)
+  let r = Plog.append t' (payload "fresh start") in
+  check Alcotest.int "fresh record continues the sequence" 2 r.Plog.seq
+
 let prop_random_appends_survive =
   QCheck2.Test.make ~name:"plog: every sealed record survives any crash" ~count:150
     QCheck2.Gen.(list_size (int_range 1 20) (string_size (int_range 0 80)))
@@ -180,6 +255,13 @@ let suite =
     Alcotest.test_case "attach requires formatted region" `Quick test_attach_bad_magic;
     Alcotest.test_case "crash before recycle re-exposes records" `Quick
       test_crash_before_header_persist_keeps_old_head;
+    Alcotest.test_case "mid-ring corruption quarantined" `Quick
+      test_midring_corruption_quarantined;
+    Alcotest.test_case "last-record damage treated as torn tail" `Quick
+      test_last_record_corruption_is_torn_tail;
+    Alcotest.test_case "poisoned record quarantined" `Quick test_poisoned_record_quarantined;
+    Alcotest.test_case "header loss reformats with salvaged seq" `Quick
+      test_header_loss_reformats_with_salvaged_seq;
     QCheck_alcotest.to_alcotest prop_random_appends_survive;
     QCheck_alcotest.to_alcotest prop_wraparound_roundtrip;
   ]
