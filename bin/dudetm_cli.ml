@@ -208,6 +208,7 @@ let check_cmd =
         ("early-durable", Config.Early_durable_publish);
         ("unfenced-reproduce", Config.Unfenced_reproduce);
         ("skip-crc-verify", Config.Skip_crc_verify);
+        ("skip-recovery-journal", Config.Skip_recovery_journal);
       ]
     in
     Arg.(
@@ -216,7 +217,8 @@ let check_cmd =
       & info [ "mutate" ] ~docv:"FAULT"
           ~doc:
             "Seed a deliberate bug into DudeTM (checker self-validation): none, \
-             early-durable, unfenced-reproduce, or skip-crc-verify.")
+             early-durable, unfenced-reproduce, skip-crc-verify, or \
+             skip-recovery-journal.")
   in
   let media =
     Arg.(
@@ -270,11 +272,119 @@ let check_cmd =
       & info [ "crash-at" ]
           ~doc:"With --sched (or alone): cut power at this persist boundary (0 = none).")
   in
+  let recovery =
+    Arg.(
+      value & flag
+      & info [ "recovery" ]
+          ~doc:
+            "Run the nested-crash recovery campaign instead: cut power at sampled \
+             persist boundaries inside attach and scrub (and, two deep, inside the \
+             recovery of a crashed recovery) and require every leg to converge to the \
+             uninterrupted recovery's durable ID, heap state, and report.")
+  in
+  let leg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "leg" ] ~docv:"LEG"
+          ~doc:
+            "With --recovery: replay one exact nested-crash case whose first \
+             recovery-time cut lands in this leg (attach or scrub); combine with \
+             --crash-at, --crash2 and --crash3.")
+  in
+  let crash2 =
+    Arg.(
+      value & opt int 0
+      & info [ "crash2" ]
+          ~doc:"With --recovery --leg: boundary cut inside that recovery leg (0 = none).")
+  in
+  let crash3 =
+    Arg.(
+      value & opt int 0
+      & info [ "crash3" ]
+          ~doc:"With --recovery --leg: boundary cut inside the second recovery (0 = none).")
+  in
+  let rec_seeds =
+    Arg.(
+      value & opt int 0
+      & info [ "rec-seeds" ]
+          ~doc:"With --recovery: first-crash points to sweep (0 = budget default).")
+  in
+  let daemons =
+    Arg.(
+      value & flag
+      & info [ "daemons" ]
+          ~doc:
+            "Run the daemon fault-injection sweep instead: Persist and Reproduce \
+             workers raise seeded transient faults and are restarted by the \
+             supervisor; runs must still drain and recover exactly, moving only the \
+             restart/backoff counters.")
+  in
+  let daemon_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "daemon-seed" ] ~docv:"SEED"
+          ~doc:"With --daemons: replay the single case with this seed (combine with \
+                --crash-at).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float Dudetm_check.Check.default_daemon_rate
+      & info [ "fault-rate" ] ~docv:"RATE"
+          ~doc:"With --daemons: per-opportunity transient-fault probability.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at media media_faults media_seed media_seeds evict_frac evict_seed verbose =
+      crash_at media media_faults media_seed media_seeds evict_frac evict_seed recovery
+      leg crash2 crash3 rec_seeds daemons daemon_seed fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
-    if media then begin
+    let opt n = if n > 0 then Some n else None in
+    if recovery then begin
+      match
+        let budget =
+          let b =
+            if quick then Check.smoke_recovery_budget else Check.quick_recovery_budget
+          in
+          {
+            b with
+            Check.rec_seeds = (if rec_seeds > 0 then rec_seeds else b.Check.rec_seeds);
+          }
+        in
+        let leg = Option.map Check.leg_of_string leg in
+        Check.check_recovery ~fault ~budget ~log ?leg ?crash:(opt crash_at)
+          ?crash2:(opt crash2) ?crash3:(opt crash3) ()
+      with
+      | Check.Recovery_pass { runs; boundaries } ->
+        Printf.printf
+          "recovery campaign: PASS (%d runs, %d recovery-time boundaries cut)\n" runs
+          boundaries;
+        `Ok ()
+      | Check.Recovery_fail rf ->
+        Printf.printf "recovery campaign: FAIL: %s\n  replay: %s\n" rf.Check.rcf_reason
+          (Check.recovery_replay_line rf);
+        `Error (false, "nested-crash recovery check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if daemons then begin
+      match
+        Check.check_daemons
+          ?seeds:(if quick then Some 2 else None)
+          ~rate:fault_rate ~log ?only_seed:daemon_seed ?crash:(opt crash_at) ()
+      with
+      | Check.Daemon_pass { runs; faults; restarts } ->
+        Printf.printf
+          "daemon campaign: PASS (%d runs, %d faults injected, %d restarts, state \
+           exact)\n"
+          runs faults restarts;
+        `Ok ()
+      | Check.Daemon_fail df ->
+        Printf.printf "daemon campaign: FAIL: %s\n  replay: %s\n" df.Check.df_reason
+          (Check.daemon_replay_line df);
+        `Error (false, "daemon fault-injection check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if media then begin
       match
         let mode = Option.map Check.media_mode_of_string media_faults in
         let crash = if crash_at > 0 then Some crash_at else None in
@@ -289,6 +399,7 @@ let check_cmd =
           (Check.media_replay_line mf);
         `Error (false, "media-fault check failed")
       | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
     end
     else
       let evict = if evict_frac > 0.0 then Some (evict_frac, evict_seed) else None in
@@ -353,6 +464,7 @@ let check_cmd =
       | 0 -> `Ok ()
       | _ -> `Error (false, "consistency check failed")
       | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -360,12 +472,16 @@ let check_cmd =
          "Systematic crash-consistency checking: enumerate power cuts at every persist \
           boundary and explore thread schedules, verifying recovery against a state-machine \
           oracle.  With --media, a media-fault campaign: seeded bit rot, poison, and stuck \
-          lines injected post-crash must always be repaired or reported.")
+          lines injected post-crash must always be repaired or reported.  With \
+          --recovery, a nested-crash campaign: power cuts inside attach and scrub (two \
+          deep) must converge to the uninterrupted recovery.  With --daemons, a \
+          fault-injection sweep over supervised pipeline daemons.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
        $ sched_seeds $ mutate $ sched $ crash_at $ media $ media_faults $ media_seed
-       $ media_seeds $ evict $ evict_seed $ verbose))
+       $ media_seeds $ evict $ evict_seed $ recovery $ leg $ crash2 $ crash3
+       $ rec_seeds $ daemons $ daemon_seed $ fault_rate $ verbose))
 
 (* ------------------------------- scrub -------------------------------- *)
 
@@ -445,13 +561,25 @@ let scrub_cmd =
     if r.Scrub.ckpt = `Fatal then
       `Error (false, "both checkpoint slots lost: instance unrecoverable")
     else begin
-      let _t2, rr = D.attach cfg nvm in
+      let t2, rr = D.attach cfg nvm in
       Printf.printf
         "recovery: durable=%d replayed=%d corrupted_records=%d quarantined_lines=%d\n"
         rr.Dudetm_core.Dudetm.durable rr.Dudetm_core.Dudetm.replayed_txs
         rr.Dudetm_core.Dudetm.corrupted_records rr.Dudetm_core.Dudetm.quarantined_lines;
-      if r.Scrub.bad_extents <> [] then
-        `Error (false, "unreconstructible data loss (see bad extents above)")
+      if r.Scrub.bad_extents <> [] then begin
+        (* Unreconstructible extents: don't refuse service — attach in
+           degraded read-only mode so the surviving data stays readable
+           while writes are rejected with the reason. *)
+        D.freeze t2
+          ~reason:
+            (Printf.sprintf "%d unreconstructible extent(s) reported by scrub"
+               (List.length r.Scrub.bad_extents));
+        Printf.printf
+          "degraded: attached READ-ONLY (%d unreconstructible extents; writes and \
+           allocation will raise Read_only)\n"
+          (List.length r.Scrub.bad_extents);
+        `Ok ()
+      end
       else `Ok ()
     end
   in

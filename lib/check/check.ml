@@ -54,6 +54,7 @@ let fault_suffix = function
   | Config.Early_durable_publish -> "+early-durable"
   | Config.Unfenced_reproduce -> "+unfenced-reproduce"
   | Config.Skip_crc_verify -> "+skip-crc-verify"
+  | Config.Skip_recovery_journal -> "+skip-recovery-journal"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -503,8 +504,9 @@ let replay_line f =
 
 (* Up to [n] boundaries out of [1..s], always covering both ends. *)
 let sample_sites ~s ~n =
-  if s <= 0 then []
+  if s <= 0 || n <= 0 then []
   else if s <= n then List.init s (fun i -> i + 1)
+  else if n = 1 then [ 1 ]
   else
     List.sort_uniq compare (List.init n (fun i -> 1 + (i * (s - 1) / (n - 1))))
 
@@ -886,3 +888,408 @@ let check_media ?(fault = Config.No_fault) ?(seeds = default_media_seeds) ?(log 
     (match !result with
     | None -> Media_pass { runs = !runs; injected = !injected }
     | Some mf -> Media_fail mf)
+
+(* ------------------------------------------------------------------ *)
+(* Nested-crash recovery campaign                                     *)
+(* ------------------------------------------------------------------ *)
+
+type recovery_leg = Attach_leg | Scrub_leg
+
+let leg_to_string = function Attach_leg -> "attach" | Scrub_leg -> "scrub"
+
+let leg_of_string = function
+  | "attach" -> Attach_leg
+  | "scrub" -> Scrub_leg
+  | s -> invalid_arg ("Check.leg_of_string: unknown recovery leg " ^ s)
+
+type recovery_budget = {
+  rec_seeds : int;
+  rec_attach_sites : int;
+  rec_scrub_sites : int;
+  rec_deep_points : int;
+  rec_deep_sites : int;
+}
+
+let quick_recovery_budget =
+  { rec_seeds = 4; rec_attach_sites = 60; rec_scrub_sites = 32; rec_deep_points = 2; rec_deep_sites = 4 }
+
+let smoke_recovery_budget =
+  { rec_seeds = 1; rec_attach_sites = 16; rec_scrub_sites = 8; rec_deep_points = 1; rec_deep_sites = 2 }
+
+type recovery_failure = {
+  rcf_fault : Config.fault;
+  rcf_crash : int option;
+  rcf_leg : recovery_leg;
+  rcf_crash2 : int option;
+  rcf_crash3 : int option;
+  rcf_reason : string;
+}
+
+type recovery_report =
+  | Recovery_pass of { runs : int; boundaries : int }
+  | Recovery_fail of recovery_failure
+
+let recovery_replay_line rcf =
+  Printf.sprintf "dudetm check --recovery%s%s --leg %s%s%s"
+    (match rcf.rcf_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    (match rcf.rcf_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+    (leg_to_string rcf.rcf_leg)
+    (match rcf.rcf_crash2 with None -> "" | Some k -> Printf.sprintf " --crash2 %d" k)
+    (match rcf.rcf_crash3 with None -> "" | Some k -> Printf.sprintf " --crash3 %d" k)
+
+let recovery_workload () = counter ~threads:3 ~txs:4
+
+(* Deterministically rebuild the crashed device image the recovery legs
+   operate on: run the campaign workload under the default schedule, cut
+   power at boundary [crash] (None: at quiescence), and hand the crashed
+   device back *without* recovering it.  [attach] mutates the device, so
+   every leg below starts from its own fresh image. *)
+let crashed_image ~cfg ~wl ~crash =
+  let nvm_ref = ref None in
+  let fresh () =
+    let p, _t = Dude_ptm.Stm.ptm cfg in
+    let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+    nvm_ref := Some nvm;
+    {
+      ptm = p;
+      inst_nvm = nvm;
+      recover = (fun () -> { rec_durable = None; rec_peek = (fun _ -> 0L) });
+    }
+  in
+  let sut = { sut_name = "dude-recovery"; sut_static = false; fresh } in
+  let o = run_once ~sut ~wl ~strategy:Sched.min_clock ~crash () in
+  (Option.get !nvm_ref, o)
+
+(* Run one recovery step with the persist hook armed.  [crash = Some k]
+   cuts power at the [k]-th persist boundary *inside the step* (the device
+   then loses its volatile state, exactly like a mid-run power cut);
+   [None] just counts boundaries.  Recovery runs outside [Sched.run], so
+   only the NVM hook is involved. *)
+let recovery_step nvm ~crash f =
+  let sites = ref 0 in
+  Nvm.set_persist_hook nvm
+    (Some
+       (fun () ->
+         incr sites;
+         match crash with Some k when !sites = k -> raise Crash_now | _ -> ()));
+  match f () with
+  | () ->
+    Nvm.set_persist_hook nvm None;
+    `Completed !sites
+  | exception Crash_now ->
+    Nvm.set_persist_hook nvm None;
+    Nvm.crash nvm;
+    `Cut
+  | exception e ->
+    Nvm.set_persist_hook nvm None;
+    `Raised e
+
+let run_leg cfg nvm = function
+  | Attach_leg -> ignore (Dude_ptm.Stm.attach_ptm cfg nvm)
+  | Scrub_leg -> ignore (Scrub.scrub ~repair:true ~probe_stuck:true cfg nvm)
+
+let report_to_string (r : Dudetm.recovery_report) =
+  Printf.sprintf
+    "{durable=%d replayed=%d discarded_txs=%d discarded_records=%d corrupted=%d quarantined=%d}"
+    r.Dudetm.durable r.Dudetm.replayed_txs r.Dudetm.discarded_txs r.Dudetm.discarded_records
+    r.Dudetm.corrupted_records r.Dudetm.quarantined_lines
+
+(* One nested-crash scenario on a fresh deterministic image: cut the
+   workload at [crash], cut the named recovery leg at boundary [crash2],
+   optionally cut the *recovery of that crashed recovery* at [crash3], and
+   require the final uninterrupted attach to converge to [baseline] — the
+   verdict an uninterrupted recovery of the same image produces — and to
+   recover state that passes the normal crash oracle. *)
+let recovery_case ~fault ~crash ~leg ~crash2 ~crash3 ~baseline ~runs =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let wl = recovery_workload () in
+  incr runs;
+  let nvm, o = crashed_image ~cfg ~wl ~crash in
+  let fail reason =
+    Some
+      {
+        rcf_fault = fault;
+        rcf_crash = crash;
+        rcf_leg = leg;
+        rcf_crash2 = crash2;
+        rcf_crash3 = crash3;
+        rcf_reason = reason;
+      }
+  in
+  match o.oc_deadlock with
+  | Some m -> fail m
+  | None -> (
+    let cuts =
+      (match crash2 with None -> [] | Some k -> [ (leg, k) ])
+      @ match crash3 with None -> [] | Some k -> [ (Attach_leg, k) ]
+    in
+    let cut_err =
+      List.fold_left
+        (fun err (l, k) ->
+          match err with
+          | Some _ -> err
+          | None -> (
+            match recovery_step nvm ~crash:(Some k) (fun () -> run_leg cfg nvm l) with
+            | `Cut | `Completed _ -> None
+            | `Raised e ->
+              Some
+                (Printf.sprintf "%s cut at boundary %d raised %s" (leg_to_string l) k
+                   (Printexc.to_string e))))
+        None cuts
+    in
+    match cut_err with
+    | Some reason -> fail reason
+    | None -> (
+      match Dude_ptm.Stm.attach_ptm cfg nvm with
+      | exception e -> fail ("final attach raised " ^ Printexc.to_string e)
+      | p2, _t2, report ->
+        if report <> baseline then
+          fail
+            (Printf.sprintf "recovery verdict diverged: interrupted %s, uninterrupted %s"
+               (report_to_string report) (report_to_string baseline))
+        else
+          let o =
+            {
+              o with
+              oc_recov = { rec_durable = Some report.Dudetm.durable; rec_peek = p2.Ptm.peek };
+            }
+          in
+          (match verify ~wl ~quiescent:(crash = None) o with
+          | Some reason -> fail reason
+          | None -> None)))
+
+(* Baseline verdict and per-leg boundary count for one crash point, each
+   measured on its own fresh image. *)
+let recovery_baseline ~fault ~crash ~runs =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let wl = recovery_workload () in
+  incr runs;
+  let nvm, _ = crashed_image ~cfg ~wl ~crash in
+  let baseline = ref None in
+  match
+    recovery_step nvm ~crash:None (fun () ->
+        let _, _, report = Dude_ptm.Stm.attach_ptm cfg nvm in
+        baseline := Some report)
+  with
+  | `Completed b -> Ok (Option.get !baseline, b)
+  | `Cut -> assert false
+  | `Raised e -> Error ("uninterrupted attach raised " ^ Printexc.to_string e)
+
+let count_leg_boundaries ~fault ~crash ~leg ~pre ~runs =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let wl = recovery_workload () in
+  incr runs;
+  let nvm, _ = crashed_image ~cfg ~wl ~crash in
+  let pre_err =
+    match pre with
+    | None -> None
+    | Some (l, k) -> (
+      match recovery_step nvm ~crash:(Some k) (fun () -> run_leg cfg nvm l) with
+      | `Cut | `Completed _ -> None
+      | `Raised e -> Some (Printexc.to_string e))
+  in
+  match pre_err with
+  | Some e -> Error e
+  | None -> (
+    match recovery_step nvm ~crash:None (fun () -> run_leg cfg nvm leg) with
+    | `Completed b -> Ok b
+    | `Cut -> assert false
+    | `Raised e -> Error (leg_to_string leg ^ " raised " ^ Printexc.to_string e))
+
+(* The scrub leg has far more boundaries than the attach leg (the
+   stuck-line probe sweep touches every heap line), so it is sampled; the
+   first boundaries are always included because they cover the probes of
+   the workload's live lines — the exact window the
+   [Skip_recovery_journal] mutant corrupts. *)
+let scrub_sites ~s ~n = List.sort_uniq compare (sample_sites ~s ~n @ sample_sites ~s:(min s 8) ~n:8)
+
+let check_recovery ?(fault = Config.No_fault) ?(budget = quick_recovery_budget)
+    ?(log = fun _ -> ()) ?leg ?crash ?crash2 ?crash3 () =
+  let runs = ref 0 in
+  let boundaries = ref 0 in
+  match leg with
+  | Some leg -> (
+    (* Exact replay of one failure one-liner. *)
+    match recovery_baseline ~fault ~crash ~runs with
+    | Error reason ->
+      Recovery_fail
+        { rcf_fault = fault; rcf_crash = crash; rcf_leg = leg; rcf_crash2 = crash2;
+          rcf_crash3 = crash3; rcf_reason = reason }
+    | Ok (baseline, _) -> (
+      match recovery_case ~fault ~crash ~leg ~crash2 ~crash3 ~baseline ~runs with
+      | Some rcf -> Recovery_fail rcf
+      | None -> Recovery_pass { runs = !runs; boundaries = !boundaries }))
+  | None ->
+    let sut0 = dude ~fault () in
+    let wl0 = recovery_workload () in
+    let sites = count_sites sut0 wl0 ~sched:Default in
+    runs := !runs + 1;
+    let crash_points =
+      None :: List.init budget.rec_seeds (fun i -> Some (1 + ((i + 1) * 7919 mod max 1 sites)))
+    in
+    let result = ref None in
+    let fail_with ~crash ~leg ~crash2 ~crash3 reason =
+      result :=
+        Some
+          { rcf_fault = fault; rcf_crash = crash; rcf_leg = leg; rcf_crash2 = crash2;
+            rcf_crash3 = crash3; rcf_reason = reason }
+    in
+    let point_name = function None -> "quiescence" | Some k -> Printf.sprintf "boundary %d" k in
+    List.iter
+      (fun crash ->
+        if !result = None then
+          match recovery_baseline ~fault ~crash ~runs with
+          | Error reason -> fail_with ~crash ~leg:Attach_leg ~crash2:None ~crash3:None reason
+          | Ok (baseline, attach_b) ->
+            List.iter
+              (fun leg ->
+                if !result = None then begin
+                  let b =
+                    if leg = Attach_leg then Ok attach_b
+                    else count_leg_boundaries ~fault ~crash ~leg ~pre:None ~runs
+                  in
+                  match b with
+                  | Error reason -> fail_with ~crash ~leg ~crash2:None ~crash3:None reason
+                  | Ok b ->
+                    boundaries := !boundaries + b;
+                    let k2s =
+                      match leg with
+                      | Attach_leg -> sample_sites ~s:b ~n:budget.rec_attach_sites
+                      | Scrub_leg -> scrub_sites ~s:b ~n:budget.rec_scrub_sites
+                    in
+                    log
+                      (Printf.sprintf "recovery: power cut at %s, %s leg: %d of %d boundaries"
+                         (point_name crash) (leg_to_string leg) (List.length k2s) b);
+                    List.iter
+                      (fun k2 ->
+                        if !result = None then
+                          match
+                            recovery_case ~fault ~crash ~leg ~crash2:(Some k2) ~crash3:None
+                              ~baseline ~runs
+                          with
+                          | Some rcf -> result := Some rcf
+                          | None -> ())
+                      k2s;
+                    (* Two deep: crash the recovery of a crashed recovery. *)
+                    if !result = None then
+                      List.iter
+                        (fun k2 ->
+                          if !result = None then
+                            match
+                              count_leg_boundaries ~fault ~crash ~leg:Attach_leg
+                                ~pre:(Some (leg, k2)) ~runs
+                            with
+                            | Error reason ->
+                              fail_with ~crash ~leg ~crash2:(Some k2) ~crash3:None reason
+                            | Ok b2 ->
+                              List.iter
+                                (fun k3 ->
+                                  if !result = None then
+                                    match
+                                      recovery_case ~fault ~crash ~leg ~crash2:(Some k2)
+                                        ~crash3:(Some k3) ~baseline ~runs
+                                    with
+                                    | Some rcf -> result := Some rcf
+                                    | None -> ())
+                                (sample_sites ~s:b2 ~n:budget.rec_deep_sites))
+                        (sample_sites ~s:(List.length k2s) ~n:budget.rec_deep_points
+                        |> List.map (fun i -> List.nth k2s (i - 1)))
+                end)
+              [ Attach_leg; Scrub_leg ])
+      crash_points;
+    (match !result with
+    | None -> Recovery_pass { runs = !runs; boundaries = !boundaries }
+    | Some rcf -> Recovery_fail rcf)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon fault-injection campaign                                    *)
+(* ------------------------------------------------------------------ *)
+
+type daemon_failure = { df_seed : int; df_crash : int option; df_rate : float; df_reason : string }
+
+type daemon_report =
+  | Daemon_pass of { runs : int; faults : int; restarts : int }
+  | Daemon_fail of daemon_failure
+
+let daemon_replay_line df =
+  Printf.sprintf "dudetm check --daemons --daemon-seed %d --fault-rate %g%s" df.df_seed df.df_rate
+    (match df.df_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+let default_daemon_rate = 0.25
+
+(* Transient Persist/Reproduce worker failures must be invisible: with the
+   supervisor restarting crashed daemons from their persistent positions,
+   every run must still satisfy the ordinary crash oracle (and a quiescent
+   run must still drain completely) — only the restart counters may move.
+   The sweep is vacuous if no daemon ever restarted, so that fails too. *)
+let check_daemons ?(seeds = 4) ?(rate = default_daemon_rate) ?(log = fun _ -> ()) ?only_seed
+    ?crash () =
+  let runs = ref 0 in
+  let faults = ref 0 in
+  let restarts = ref 0 in
+  let result = ref None in
+  let one ~seed ~crash =
+    let cfg =
+      {
+        (dude_cfg ~combine:false ~fault:Config.No_fault) with
+        Config.daemon_fault_rate = rate;
+        seed = 7 + seed;
+      }
+    in
+    let counters = ref [] in
+    let fresh () =
+      let p, _t = Dude_ptm.Stm.ptm cfg in
+      let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+      {
+        ptm = p;
+        inst_nvm = nvm;
+        recover =
+          (fun () ->
+            counters := p.Ptm.counters ();
+            let p2, _t2, report = Dude_ptm.Stm.attach_ptm cfg nvm in
+            { rec_durable = Some report.Dudetm.durable; rec_peek = p2.Ptm.peek });
+      }
+    in
+    let sut = { sut_name = "dude+daemon-faults"; sut_static = false; fresh } in
+    let wl = recovery_workload () in
+    incr runs;
+    let o = run_once ~sut ~wl ~strategy:Sched.min_clock ~crash () in
+    let count k = match List.assoc_opt k !counters with Some v -> v | None -> 0 in
+    faults := !faults + count "daemon_faults";
+    restarts := !restarts + count "daemon_restarts";
+    (match verify ~wl ~quiescent:(crash = None) o with
+    | Some reason ->
+      result := Some { df_seed = seed; df_crash = crash; df_rate = rate; df_reason = reason }
+    | None -> ());
+    o.oc_sites
+  in
+  (match only_seed with
+  | Some seed -> ignore (one ~seed ~crash)
+  | None ->
+    let s = ref 1 in
+    while !result = None && !s <= seeds do
+      log (Printf.sprintf "daemons: seed %d, faults at rate %g, run to quiescence" !s rate);
+      let sites = one ~seed:!s ~crash:None in
+      if !result = None then begin
+        let k = 1 + (!s * 7919 mod max 1 sites) in
+        log (Printf.sprintf "daemons: seed %d, power cut at boundary %d" !s k);
+        ignore (one ~seed:!s ~crash:(Some k))
+      end;
+      incr s
+    done;
+    if !result = None && !restarts = 0 then
+      result :=
+        Some
+          {
+            df_seed = 0;
+            df_crash = None;
+            df_rate = rate;
+            df_reason = "vacuous sweep: no daemon restart was ever exercised";
+          });
+  match !result with
+  | None -> Daemon_pass { runs = !runs; faults = !faults; restarts = !restarts }
+  | Some df -> Daemon_fail df

@@ -252,3 +252,117 @@ val check_media :
     exactly one case instead. *)
 
 val default_media_seeds : int
+
+(** {1 Nested-crash recovery campaign}
+
+    Recovery must itself be crash-consistent: [attach] and the offline
+    scrub order every destructive recovery-time write behind the intent
+    journal ({!Dudetm_core.Rjournal}), so a power cut at {e any} persist
+    boundary inside them, followed by a fresh [attach], converges to the
+    same durable ID, heap state and recovery report as an uninterrupted
+    recovery of the same image.
+
+    The campaign enumerates exactly that: for each first power cut (at
+    quiescence plus seed-derived mid-run boundaries), it measures the
+    uninterrupted recovery verdict as the baseline, then re-arms the
+    persist hook {e during} recovery — cutting power inside [attach] (all
+    boundaries) and inside [Scrub.scrub ~repair:true ~probe_stuck:true]
+    (sampled boundaries, always including the probes of the workload's
+    live lines) — and goes two deep by also cutting the recovery of a
+    crashed recovery.  Every leg ends in an uninterrupted attach that must
+    reproduce the baseline verdict field-for-field and pass the normal
+    crash oracle.
+
+    The campaign validates itself against the seeded
+    {!Dudetm_core.Config.Skip_recovery_journal} mutant: without the
+    journal, a cut between a scrub probe's pattern write and its restore
+    leaves garbage in live heap bytes that no log record repairs. *)
+
+type recovery_leg = Attach_leg | Scrub_leg
+
+val leg_to_string : recovery_leg -> string
+
+val leg_of_string : string -> recovery_leg
+(** ["attach" | "scrub"]; raises [Invalid_argument] otherwise. *)
+
+type recovery_budget = {
+  rec_seeds : int;  (** seed-derived first-crash boundaries (plus quiescence) *)
+  rec_attach_sites : int;  (** boundaries cut inside [attach] (all, up to this) *)
+  rec_scrub_sites : int;  (** sampled boundaries cut inside the scrub *)
+  rec_deep_points : int;  (** first-recovery cuts that get a nested sweep *)
+  rec_deep_sites : int;  (** sampled boundaries inside the second recovery *)
+}
+
+val quick_recovery_budget : recovery_budget
+(** Behind [dudetm check --recovery]. *)
+
+val smoke_recovery_budget : recovery_budget
+(** The bounded tier-1 numbers. *)
+
+type recovery_failure = {
+  rcf_fault : Dudetm_core.Config.fault;
+  rcf_crash : int option;  (** first power cut; [None]: at quiescence *)
+  rcf_leg : recovery_leg;  (** which recovery step was cut *)
+  rcf_crash2 : int option;  (** boundary cut inside that step *)
+  rcf_crash3 : int option;  (** boundary cut inside the second recovery *)
+  rcf_reason : string;
+}
+
+type recovery_report =
+  | Recovery_pass of { runs : int; boundaries : int }
+  | Recovery_fail of recovery_failure
+
+val recovery_replay_line : recovery_failure -> string
+(** The replayable [dudetm check --recovery ...] one-liner. *)
+
+val check_recovery :
+  ?fault:Dudetm_core.Config.fault ->
+  ?budget:recovery_budget ->
+  ?log:(string -> unit) ->
+  ?leg:recovery_leg ->
+  ?crash:int ->
+  ?crash2:int ->
+  ?crash3:int ->
+  unit ->
+  recovery_report
+(** Run the campaign.  Passing [leg] (with optional [crash], [crash2],
+    [crash3]) replays exactly one nested-crash case instead. *)
+
+(** {1 Daemon fault-injection campaign}
+
+    With {!Dudetm_core.Config.daemon_fault_rate} armed, Persist and
+    Reproduce workers raise seeded transient faults mid-pipeline and the
+    supervisor restarts them from their persistent positions with capped
+    exponential backoff.  The sweep holds such runs to the ordinary crash
+    oracle — quiescent runs must still drain completely and lose nothing,
+    mid-run power cuts must still recover exactly — so injected failures
+    may move only the restart/backoff counters, never the recovered
+    state.  A sweep in which no daemon ever restarted is reported as
+    vacuous (and fails). *)
+
+type daemon_failure = {
+  df_seed : int;
+  df_crash : int option;
+  df_rate : float;
+  df_reason : string;
+}
+
+type daemon_report =
+  | Daemon_pass of { runs : int; faults : int; restarts : int }
+  | Daemon_fail of daemon_failure
+
+val daemon_replay_line : daemon_failure -> string
+
+val default_daemon_rate : float
+
+val check_daemons :
+  ?seeds:int ->
+  ?rate:float ->
+  ?log:(string -> unit) ->
+  ?only_seed:int ->
+  ?crash:int ->
+  unit ->
+  daemon_report
+(** For each seed: a quiescent run and a mid-run power cut, both with
+    faults injected at [rate].  [only_seed] (with optional [crash])
+    replays a single case. *)

@@ -1,6 +1,18 @@
 type mode = Async | Sync | Inf
 
-type fault = No_fault | Early_durable_publish | Unfenced_reproduce | Skip_crc_verify
+type fault =
+  | No_fault
+  | Early_durable_publish
+  | Unfenced_reproduce
+  | Skip_crc_verify
+  | Skip_recovery_journal
+
+exception Invalid_config of string
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_config msg -> Some (Printf.sprintf "Invalid_config %S" msg)
+    | _ -> None)
 
 type t = {
   heap_size : int;
@@ -27,6 +39,12 @@ type t = {
   crc_extent : int;
   badline_capacity : int;
   drain_budget : int;
+  daemon_fault_rate : float;
+  daemon_backoff_base : int;
+  daemon_backoff_cap : int;
+  bp_hwm_fraction : float;
+  bp_wait_budget : int;
+  pmalloc_wait_budget : int;
   seed : int;
   fault : fault;
 }
@@ -57,6 +75,12 @@ let default =
     crc_extent = 512;
     badline_capacity = 64;
     drain_budget = 200_000_000;
+    daemon_fault_rate = 0.0;
+    daemon_backoff_base = 200;
+    daemon_backoff_cap = 100_000;
+    bp_hwm_fraction = 0.75;
+    bp_wait_budget = 2_000_000;
+    pmalloc_wait_budget = 1_000_000;
     seed = 42;
     fault = No_fault;
   }
@@ -83,7 +107,13 @@ let badline_base t = crcdir_base t + crcdir_size t
 
 let badline_size t = line_align t ((3 + t.badline_capacity) * 8)
 
-let plog_base t i = badline_base t + badline_size t + (i * t.plog_size)
+let rjournal_base t = badline_base t + badline_size t
+
+(* Two fixed-size intent slots (see Rjournal); each slot is padded to 128
+   bytes so slot writes never share a cache line. *)
+let rjournal_size t = line_align t 256
+
+let plog_base t i = rjournal_base t + rjournal_size t + (i * t.plog_size)
 
 let nvm_size t =
   (* Pad to a page: the paged shadow views the whole device and requires a
@@ -94,7 +124,10 @@ let nvm_size t =
   (n + page - 1) / page * page
 
 let validate t =
-  let fail msg = invalid_arg ("Config: " ^ msg) in
+  let fail msg = raise (Invalid_config ("Config: " ^ msg)) in
+  let fraction name f =
+    if not (f >= 0.0 && f <= 1.0) then fail (name ^ " must be within [0, 1]")
+  in
   if t.heap_size <= 0 || t.heap_size land 4095 <> 0 then fail "heap_size must be a positive multiple of 4096";
   if t.root_size < 8 || t.root_size > t.heap_size then fail "bad root_size";
   if t.nthreads < 1 then fail "nthreads < 1";
@@ -114,6 +147,14 @@ let validate t =
   if t.heap_size mod t.crc_extent <> 0 then fail "crc_extent must divide heap_size";
   if t.badline_capacity < 1 then fail "badline_capacity < 1";
   if t.drain_budget < 1 then fail "drain_budget < 1";
+  fraction "daemon_fault_rate" t.daemon_fault_rate;
+  fraction "bp_hwm_fraction" t.bp_hwm_fraction;
+  if t.daemon_backoff_base < 1 then fail "daemon_backoff_base < 1";
+  if t.daemon_backoff_cap < t.daemon_backoff_base then
+    fail "daemon_backoff_cap below daemon_backoff_base";
+  if t.bp_wait_budget < 0 then fail "bp_wait_budget < 0";
+  if t.pmalloc_wait_budget < 0 then fail "pmalloc_wait_budget < 0";
+  if nvm_size t land 4095 <> 0 then fail "nvm_size not page-aligned";
   (match t.shadow_frames with
   | Some f when f < 2 -> fail "shadow_frames < 2"
   | _ -> ());

@@ -7,8 +7,13 @@
                                           reproduced-upto watermark)
       [.., +crcdir_size)                  per-extent heap CRC directory
       [.., +badline_size)                 persistent bad-line table
+      [.., +rjournal_size)                recovery intent journal
       [.., +plog_regions * plog_size)     persistent redo-log rings
     v} *)
+
+exception Invalid_config of string
+(** Raised by {!validate} for inconsistent configurations.  A single clear
+    error at [create]/[attach] time instead of downstream failures. *)
 
 (** How a transaction acknowledges durability (Section 5.1's evaluated
     systems). *)
@@ -37,6 +42,13 @@ type fault =
           media corruption of checkpointed heap data goes undetected and
           wrong values are silently served after recovery.  Validates the
           media-fault campaign ([dudetm check --media]). *)
+  | Skip_recovery_journal
+      (** [attach] and [Scrub.scrub] skip the recovery intent journal:
+          recovery-time NVM writes (stuck-line probes, replay verdicts) are
+          no longer ordered behind a sealed intent, so a crash in the middle
+          of recovery can leave a probe pattern in live data or a diverging
+          recovery report.  Validates the nested-crash campaign
+          ([dudetm check --recovery]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
@@ -67,6 +79,24 @@ type t = {
   drain_budget : int;
       (** simulated cycles {!Dudetm.drain} may consume before raising
           [Drain_stalled] with a daemon-state diagnostic *)
+  daemon_fault_rate : float;
+      (** probability (seeded via [seed]) that a Persist/Reproduce daemon
+          suffers an injected transient failure at a work-unit boundary;
+          the supervisor restarts it from its persistent position.  0.0 in
+          production; used by the daemon fault-injection campaign. *)
+  daemon_backoff_base : int;
+      (** simulated cycles of supervisor backoff after the first daemon
+          restart; doubles per consecutive failure *)
+  daemon_backoff_cap : int;  (** upper bound on supervisor backoff *)
+  bp_hwm_fraction : float;
+      (** ring-occupancy fraction beyond which Perform threads are
+          throttled (bounded wait) before starting new transactions *)
+  bp_wait_budget : int;
+      (** max simulated cycles a Perform thread blocks per backpressure
+          throttle event before proceeding anyway *)
+  pmalloc_wait_budget : int;
+      (** max simulated cycles [pmalloc] waits for Reproduce to free space
+          before raising [Pmem_exhausted] *)
   seed : int;
   fault : fault;  (** seeded checker-validation bug; [No_fault] in production *)
 }
@@ -99,6 +129,11 @@ val badline_base : t -> int
 
 val badline_size : t -> int
 
+val rjournal_base : t -> int
+(** Base of the double-slot CRC-sealed recovery intent journal. *)
+
+val rjournal_size : t -> int
+
 val plog_base : t -> int -> int
 (** Base offset of ring [i]. *)
 
@@ -106,5 +141,6 @@ val nvm_size : t -> int
 (** Total device size implied by the layout (line-aligned). *)
 
 val validate : t -> unit
-(** Raise [Invalid_argument] for inconsistent configurations (e.g.
-    combination with several persist threads, heap not page-aligned). *)
+(** Raise {!Invalid_config} for inconsistent configurations (e.g.
+    combination with several persist threads, heap not page-aligned,
+    non-positive budgets, fractions outside [0, 1]). *)

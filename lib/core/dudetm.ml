@@ -3,6 +3,7 @@ module Nvm = Dudetm_nvm.Nvm
 module Shadow = Dudetm_shadow.Shadow
 module Sched = Dudetm_sim.Sched
 module Stats = Dudetm_sim.Stats
+module Rng = Dudetm_sim.Rng
 module Log_entry = Dudetm_log.Log_entry
 module Vlog = Dudetm_log.Vlog
 module Plog = Dudetm_log.Plog
@@ -13,6 +14,10 @@ module Tm_intf = Dudetm_tm.Tm_intf
 exception Pmem_exhausted
 
 exception Drain_stalled of string
+
+exception Read_only of string
+
+exception Daemon_fault of string
 
 type recovery_report = {
   durable : int;
@@ -50,6 +55,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     vlogs : Vlog.t array;
     plogs : Plog.t array;
     ckpt : Checkpoint.t;
+    rjournal : Rjournal.t;
     crcdir : Crcdir.t;
     badlines : Badline.t;
     dirty_extents : (int, unit) Hashtbl.t;  (* heap extents Reproduce touched since last checkpoint *)
@@ -62,6 +68,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     mutable checkpointed : int;
     queues : item Queue.t array;  (* per region, lo ascending *)
     mutable pending_recycle : (int * int * int) list;  (* region, end_off, next_seq *)
+    (* Daemon working state lives in [t], not in daemon-local closures, so
+       a supervisor restart resumes exactly where the failed daemon left
+       off: staged-but-unflushed combined transactions, the next group ID,
+       and reproduced-but-unpersisted dirty ranges all survive. *)
+    staging : (int, Log_entry.t list) Hashtbl.t;  (* combined persist: tid -> body *)
+    mutable next_flush : int;  (* combined persist: next group's first tid *)
+    repro_ranges : (int * int) list ref;  (* applied but not yet persisted *)
+    fault_rng : Rng.t;  (* injected transient daemon failures *)
+    mutable read_only : string option;  (* degraded mode: Some reason *)
     mutable stop_flag : bool;
     mutable draining : bool;
     mutable started : bool;
@@ -98,7 +113,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       let scfg = Shadow.default_config cfg.Config.shadow_mode ~frames in
       Paged (Shadow.create scfg ~nvm ~applied_id:(fun () -> !applied_cell))
 
-  let build cfg nvm ~tid_base ~plogs ~ckpt ~crcdir ~badlines ~allocator ~repro_alloc =
+  let build cfg nvm ~tid_base ~plogs ~ckpt ~rjournal ~crcdir ~badlines ~allocator ~repro_alloc =
     let applied_cell = ref tid_base in
     let view = make_view cfg nvm applied_cell in
     let tm = Tm.create ~costs:cfg.Config.tm_costs ~seed:cfg.Config.seed (store_of_view view) in
@@ -115,6 +130,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
               ~capacity:cfg.Config.vlog_capacity ());
       plogs;
       ckpt;
+      rjournal;
       crcdir;
       badlines;
       dirty_extents = Hashtbl.create 256;
@@ -127,6 +143,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       checkpointed = tid_base;
       queues = Array.init (Array.length plogs) (fun _ -> Queue.create ());
       pending_recycle = [];
+      staging = Hashtbl.create 1024;
+      next_flush = tid_base + 1;
+      repro_ranges = ref [];
+      fault_rng = Rng.create ((cfg.Config.seed * 31) + 0x5eed);
+      read_only = None;
       stop_flag = false;
       draining = false;
       started = false;
@@ -151,7 +172,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     in
     let crcdir = Crcdir.format nvm cfg in
     let badlines = Badline.format nvm cfg in
-    build cfg nvm ~tid_base:0 ~plogs ~ckpt ~crcdir ~badlines ~allocator ~repro_alloc
+    let rjournal = Rjournal.format nvm ~base:(Config.rjournal_base cfg) in
+    build cfg nvm ~tid_base:0 ~plogs ~ckpt ~rjournal ~crcdir ~badlines ~allocator ~repro_alloc
 
   (* Carve every recorded bad line out of the {e serving} allocator so
      pmalloc never hands out media known to drop writes.  Only the serving
@@ -170,6 +192,50 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           try Alloc.reserve t.allocator ~off ~len with Invalid_argument _ -> ()
         end)
       (Badline.lines t.badlines)
+
+  (* ------------------------------------------------------------------ *)
+  (* Daemon supervision and fault injection                              *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Injected transient daemon failure.  Only raised at work-unit
+     boundaries where every piece of in-flight state already lives in [t]
+     (or in NVM), so a restart resumes from the persistent position without
+     duplicating or dropping work. *)
+  let maybe_fault t name =
+    let rate = t.cfg.Config.daemon_fault_rate in
+    if rate > 0.0 && Rng.float t.fault_rng < rate then begin
+      Stats.incr t.stats "daemon_faults";
+      raise (Daemon_fault name)
+    end
+
+  (* Restart a failed daemon with capped exponential backoff (seeded
+     jitter).  Only the injected [Daemon_fault] is retried: a real bug
+     escaping a daemon must still surface, or the checker would paper over
+     genuine failures. *)
+  let supervise t loop =
+    let failures = ref 0 in
+    let rec go () =
+      match loop () with
+      | () -> ()
+      | exception Daemon_fault _ ->
+        Stats.incr t.stats "daemon_restarts";
+        let base = t.cfg.Config.daemon_backoff_base in
+        let cap = t.cfg.Config.daemon_backoff_cap in
+        let ceiling = min cap (base lsl min !failures 20) in
+        let half = max 1 ((ceiling + 1) / 2) in
+        let wait = half + Rng.int t.fault_rng half in
+        incr failures;
+        Stats.add t.stats "daemon_backoff_cycles" wait;
+        Sched.advance wait;
+        go ()
+    in
+    go ()
+
+  (* Record a high-water mark: counters are monotone, so push the counter
+     up to [v] when it is a new maximum. *)
+  let stat_max stats key v =
+    let cur = Stats.get stats key in
+    if v > cur then Stats.add stats key (v - cur)
 
   (* ------------------------------------------------------------------ *)
   (* Durable-ID bookkeeping                                              *)
@@ -238,6 +304,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let cm = Vlog.committed vlog in
     if cm <= hd then false
     else begin
+      stat_max t.stats "vlog_hwm_entries" (cm - hd);
       let budget () = Plog.free_space plog - Plog.record_overhead - 1 in
       (* Find the cut: last tx boundary within the entry cap and byte
          budget, but always at least one whole transaction. *)
@@ -300,6 +367,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         in
         Stats.incr t.stats "flush_records";
         Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+        stat_max t.stats "plog_hwm_bytes" (Plog.used_space plog);
         queue_items t i entries record;
         Vlog.consume_to vlog cut;
         note_flushed t tids;
@@ -315,6 +383,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     in
     let has_data i = Vlog.committed t.vlogs.(i) > Vlog.head t.vlogs.(i) in
     let rec loop () =
+      maybe_fault t "persist";
       let did =
         List.fold_left (fun acc i -> flush_thread t i ~wait_space:false || acc) false mine
       in
@@ -338,8 +407,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
      groups of [group_size] transactions in global ID order, combines and
      optionally compresses each group, and writes it to ring 0. *)
   let persist_combined_loop t =
-    let staging : (int, Log_entry.t list) Hashtbl.t = Hashtbl.create 1024 in
-    let next_flush = ref (t.tid_base + 1) in
+    let staging = t.staging in
     let drain_vlogs () =
       Array.iter
         (fun vlog ->
@@ -358,13 +426,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     in
     let contiguous () =
       let n = ref 0 in
-      while Hashtbl.mem staging (!next_flush + !n) do
+      while Hashtbl.mem staging (t.next_flush + !n) do
         incr n
       done;
       !n
     in
     let flush_group take =
-      let lo = !next_flush in
+      let lo = t.next_flush in
       let hi = lo + take - 1 in
       let group =
         List.concat_map
@@ -401,6 +469,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       in
       Stats.incr t.stats "flush_records";
       Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+      stat_max t.stats "plog_hwm_bytes" (Plog.used_space t.plogs.(0));
       Queue.push
         {
           lo;
@@ -414,16 +483,17 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         t.queues.(0);
       List.iter (fun k -> Hashtbl.remove staging (lo + k)) (List.init take (fun k -> k));
       note_flushed t (List.init take (fun k -> lo + k));
-      next_flush := hi + 1
+      t.next_flush <- hi + 1
     in
     let rec loop () =
+      maybe_fault t "persist";
       drain_vlogs ();
       let avail = contiguous () in
       if avail >= t.cfg.Config.group_size then begin
         flush_group t.cfg.Config.group_size;
         loop ()
       end
-      else if (t.draining || t.stop_flag) && avail > 0 && last_tid t < !next_flush + avail
+      else if (t.draining || t.stop_flag) && avail > 0 && last_tid t < t.next_flush + avail
       then begin
         (* Tail of the run: no more transactions are coming; flush the
            remainder as a short group. *)
@@ -448,7 +518,24 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let plog_pressure t =
     Array.exists (fun p -> Plog.free_space p < Plog.data_capacity p / 4) t.plogs
 
+  (* Persist every reproduced-but-unpersisted heap range and advance the
+     persisted-data watermark.  The ranges live in [t] so a daemon restart
+     between applying items and persisting them cannot drop the fence: the
+     restarted daemon (or the checkpoint below) still flushes them before
+     any checkpoint covers the applied IDs.  The Unfenced_reproduce mutant
+     (checker self-test only) skips the fence. *)
+  let flush_reproduced t =
+    if !(t.repro_ranges) <> [] then begin
+      if t.cfg.Config.fault <> Config.Unfenced_reproduce then
+        Nvm.persist_ranges t.nvm !(t.repro_ranges);
+      t.repro_ranges := []
+    end;
+    t.persisted_data <- applied t
+
   let do_checkpoint t =
+    (* A daemon restart may have left applied items whose data persist is
+       still pending; fence them before the checkpoint can cover them. *)
+    flush_reproduced t;
     (* Refresh the CRC directory for every heap extent this checkpoint
        covers.  Reproduce has already persisted those extents (the round's
        persist_ranges precedes the checkpoint), so latest = persisted there
@@ -518,26 +605,21 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       t.pending_recycle <- (it.region, it.end_off, it.rec_next_seq) :: t.pending_recycle
 
   let reproduce_round t =
-    let ranges = ref [] in
     let applied_any = ref false in
     let batch = ref 0 in
     while t.durable > applied t && !batch < t.cfg.Config.reproduce_batch do
-      apply_item t (pop_next_item t) ranges;
+      maybe_fault t "reproduce";
+      apply_item t (pop_next_item t) t.repro_ranges;
       applied_any := true;
       incr batch
     done;
-    if !applied_any then begin
-      (* One persist ordering covers the whole round's reproduced data.
-         The Unfenced_reproduce mutant (checker self-test only) skips it:
-         the checkpoint watermark then runs ahead of the persisted heap. *)
-      if t.cfg.Config.fault <> Config.Unfenced_reproduce then
-        Nvm.persist_ranges t.nvm !ranges;
-      t.persisted_data <- applied t
-    end;
+    (* One persist ordering covers the whole round's reproduced data. *)
+    if !applied_any then flush_reproduced t;
     !applied_any
 
   let reproduce_loop t =
     let rec loop () =
+      maybe_fault t "reproduce";
       if t.durable > applied t then begin
         ignore (reproduce_round t);
         if
@@ -573,15 +655,19 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     | Config.Sync -> ()
     | Config.Async | Config.Inf ->
       if t.cfg.Config.combine then
-        ignore (Sched.spawn ~daemon:true "persist-0" (fun () -> persist_combined_loop t))
+        ignore
+          (Sched.spawn ~daemon:true "persist-0" (fun () ->
+               supervise t (fun () -> persist_combined_loop t)))
       else
         for p = 0 to t.cfg.Config.persist_threads - 1 do
           ignore
             (Sched.spawn ~daemon:true
                (Printf.sprintf "persist-%d" p)
-               (fun () -> persist_plain_loop t p))
+               (fun () -> supervise t (fun () -> persist_plain_loop t p)))
         done);
-    ignore (Sched.spawn ~daemon:true "reproduce" (fun () -> reproduce_loop t))
+    ignore
+      (Sched.spawn ~daemon:true "reproduce" (fun () ->
+           supervise t (fun () -> reproduce_loop t)))
 
   let drain_diagnostic t =
     let vlog_backlog =
@@ -596,12 +682,20 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     in
     Printf.sprintf
       "drain stalled after %d cycles: last_tid=%d durable=%d applied=%d checkpointed=%d \
-       vlog_backlog=%d ring_occupancy=[%s] pending_recycle=%d queued_items=%d stop=%b"
+       vlog_backlog=%d ring_occupancy=[%s] pending_recycle=%d queued_items=%d stop=%b \
+       daemon_restarts=%d daemon_backoff_cycles=%d bp_throttle_events=%d \
+       bp_throttle_cycles=%d pmalloc_waits=%d read_only=%s"
       t.cfg.Config.drain_budget (last_tid t) t.durable (applied t) t.checkpointed vlog_backlog
       rings
       (List.length t.pending_recycle)
       (Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues)
       t.stop_flag
+      (Stats.get t.stats "daemon_restarts")
+      (Stats.get t.stats "daemon_backoff_cycles")
+      (Stats.get t.stats "bp_throttle_events")
+      (Stats.get t.stats "bp_throttle_cycles")
+      (Stats.get t.stats "pmalloc_waits")
+      (match t.read_only with None -> "no" | Some r -> Printf.sprintf "%S" r)
 
   let drain t =
     t.draining <- true;
@@ -656,7 +750,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     touch dtx addr ~wrote:false;
     Tm.read dtx.tm_tx addr
 
+  let require_writable t =
+    match t.read_only with
+    | Some reason -> raise (Read_only reason)
+    | None -> ()
+
   let write dtx addr value =
+    require_writable dtx.t;
     touch dtx addr ~wrote:true;
     Sched.advance dtx.t.cfg.Config.log_append_cost;
     Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Write { addr; value });
@@ -665,10 +765,42 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let abort dtx = Tm.user_abort dtx.tm_tx
 
+  (* Allocation backpressure: concurrent transactions return space at
+     commit ([pfree]) and abort (refunds), so a full heap is often
+     transient.  Block within the configured budget and retry before
+     giving up with [Pmem_exhausted]. *)
+  let alloc_with_backpressure t n =
+    match Alloc.alloc t.allocator n with
+    | Some off -> Some off
+    | None ->
+      let could_ever_fit = n <= t.cfg.Config.heap_size - t.cfg.Config.root_size in
+      let budget = t.cfg.Config.pmalloc_wait_budget in
+      if budget <= 0 || (not (Sched.running ())) || not could_ever_fit then None
+      else begin
+        (* Poll with [Sched.advance] rather than [wait_until]: the wait is
+           bounded by simulated time, and a time-based [wait_until]
+           predicate can never come true when every other thread is also
+           blocked (the scheduler would call it a deadlock).  Advancing
+           always makes progress. *)
+        Stats.incr t.stats "pmalloc_waits";
+        let step = max 1 (budget / 32) in
+        let elapsed = ref 0 in
+        let result = ref None in
+        while !result = None && !elapsed < budget && not t.stop_flag do
+          let d = min step (budget - !elapsed) in
+          Sched.advance d;
+          elapsed := !elapsed + d;
+          result := Alloc.alloc t.allocator n
+        done;
+        Stats.add t.stats "pmalloc_wait_cycles" !elapsed;
+        !result
+      end
+
   let pmalloc dtx n =
     if n <= 0 then invalid_arg "Dudetm.pmalloc: non-positive size";
+    require_writable dtx.t;
     Sched.advance pmalloc_cost;
-    match Alloc.alloc dtx.t.allocator n with
+    match alloc_with_backpressure dtx.t n with
     | None -> raise Pmem_exhausted
     | Some off ->
       dtx.allocs <- (off, n) :: dtx.allocs;
@@ -681,13 +813,51 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let pfree dtx ~off ~len =
     if len <= 0 then invalid_arg "Dudetm.pfree: non-positive size";
+    require_writable dtx.t;
     write dtx off 0L;
     Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Free { off; len });
     dtx.frees <- (off, len) :: dtx.frees
 
+  (* Backpressure: true when some ring is occupied beyond the configured
+     high-water fraction. *)
+  let ring_pressure t =
+    let hwm = t.cfg.Config.bp_hwm_fraction in
+    Array.exists
+      (fun p -> float_of_int (Plog.used_space p) >= hwm *. float_of_int (Plog.data_capacity p))
+      t.plogs
+
+  (* Throttle a Perform thread about to start a transaction while a ring
+     sits above its high-water mark: a bounded wait gives Persist/Reproduce
+     a chance to recycle instead of letting producers run the rings into
+     the hard full-waiting path.  Bounded so a stuck pipeline degrades to
+     the existing full-ring behavior rather than blocking forever. *)
+  let throttle_on_pressure t =
+    if
+      t.started && (not t.draining) && (not t.stop_flag)
+      && t.cfg.Config.bp_wait_budget > 0
+      && t.cfg.Config.mode <> Config.Sync
+      && Sched.running () && ring_pressure t
+    then begin
+      Stats.incr t.stats "bp_throttle_events";
+      (* Advance-based polling, not [wait_until]: see
+         [alloc_with_backpressure]. *)
+      let budget = t.cfg.Config.bp_wait_budget in
+      let step = max 1 (budget / 32) in
+      let elapsed = ref 0 in
+      while
+        ring_pressure t && (not t.stop_flag) && (not t.draining) && !elapsed < budget
+      do
+        let d = min step (budget - !elapsed) in
+        Sched.advance d;
+        elapsed := !elapsed + d
+      done;
+      Stats.add t.stats "bp_throttle_cycles" !elapsed
+    end
+
   let atomically t ~thread f =
     if thread < 0 || thread >= t.cfg.Config.nthreads then
       invalid_arg "Dudetm.atomically: bad thread index";
+    throttle_on_pressure t;
     let vlog = t.vlogs.(thread) in
     let attempt : tx option ref = ref None in
     let cleanup () =
@@ -753,6 +923,20 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Config.validate cfg;
     if Nvm.size nvm <> Config.nvm_size cfg then
       invalid_arg "Dudetm.attach: device size does not match the configuration";
+    (* Recovery is itself crash-consistent: destructive recovery-time
+       writes are ordered behind the intent journal.  First, undo any probe
+       pattern a crashed scrub left in the heap — before trusting a single
+       heap byte.  (The Skip_recovery_journal mutant bypasses the journal
+       to prove the nested-crash campaign catches exactly this.) *)
+    let use_journal = cfg.Config.fault <> Config.Skip_recovery_journal in
+    let rjournal = Rjournal.attach nvm ~base:(Config.rjournal_base cfg) in
+    (match Rjournal.read rjournal with
+    | Rjournal.Probe { line; original } when use_journal ->
+      let ls = Nvm.line_size nvm in
+      Nvm.store_u64 nvm (line * ls) original;
+      Nvm.persist nvm ~off:(line * ls) ~len:8;
+      Rjournal.write rjournal Rjournal.Idle
+    | _ -> ());
     let ckpt, state = Checkpoint.attach nvm ~base:(Config.meta_base cfg) ~size:cfg.Config.meta_size in
     let c = state.Checkpoint.reproduced_upto in
     let repro_alloc = Alloc.restore state.Checkpoint.free_extents in
@@ -807,6 +991,32 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let discarded_records =
       List.length (List.filter (fun (lo, _, _) -> lo > d) dropped)
     in
+    let replayed_txs =
+      List.fold_left (fun acc (lo, hi, _) -> acc + (hi - lo + 1)) 0 keep
+    in
+    (* The recovery verdict is fully determined before any heap mutation.
+       If a previous attach sealed a verdict for the same durable ID and
+       then crashed mid-recovery, adopt it: the report converges to the
+       pre-crash verdict no matter where that crash landed (e.g. after the
+       rings were already recycled, when a fresh scan would count zero
+       replayed transactions).  Then seal this attach's verdict before the
+       replay below mutates anything. *)
+    let verdict =
+      let fresh =
+        {
+          Rjournal.v_durable = d;
+          v_replayed_txs = replayed_txs;
+          v_discarded_txs = discarded_txs;
+          v_discarded_records = discarded_records;
+          v_corrupted_records = corrupted_records;
+          v_quarantined_lines = quarantined_lines;
+        }
+      in
+      match Rjournal.read rjournal with
+      | Rjournal.Replay v when use_journal && v.Rjournal.v_durable = d -> v
+      | _ -> fresh
+    in
+    if use_journal then Rjournal.write rjournal (Rjournal.Replay verdict);
     (* Replay in transaction-ID order. *)
     let ranges = ref [] in
     let replayed_extents = Hashtbl.create 64 in
@@ -837,12 +1047,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Array.iter
       (fun plog -> Plog.recycle_to plog ~end_off:(Plog.tail_off plog) ~next_seq:(Plog.next_seq plog))
       plogs;
-    let replayed_txs =
-      List.fold_left (fun acc (lo, hi, _) -> acc + (hi - lo + 1)) 0 keep
-    in
+    (* The verdict stays sealed: clearing it here would open a window (a
+       crash right after the clear persists) where a re-attach sees the
+       recycled rings and reports zero replayed transactions.  The
+       [v_durable = d] guard above retires it naturally once new
+       transactions advance the durable ID. *)
     let badlines, _ = Badline.attach nvm cfg in
     let t =
-      build cfg nvm ~tid_base:d ~plogs ~ckpt ~crcdir ~badlines
+      build cfg nvm ~tid_base:d ~plogs ~ckpt ~rjournal ~crcdir ~badlines
         ~allocator:(Alloc.copy repro_alloc) ~repro_alloc
     in
     shun_bad_lines t;
@@ -850,12 +1062,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     t.checkpointed <- d;
     ( t,
       {
-        durable = d;
-        replayed_txs;
-        discarded_txs;
-        discarded_records;
-        corrupted_records;
-        quarantined_lines;
+        durable = verdict.Rjournal.v_durable;
+        replayed_txs = verdict.Rjournal.v_replayed_txs;
+        discarded_txs = verdict.Rjournal.v_discarded_txs;
+        discarded_records = verdict.Rjournal.v_discarded_records;
+        corrupted_records = verdict.Rjournal.v_corrupted_records;
+        quarantined_lines = verdict.Rjournal.v_quarantined_lines;
       } )
 
   (* ------------------------------------------------------------------ *)
@@ -863,6 +1075,10 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   let config t = t.cfg
+
+  let freeze t ~reason = t.read_only <- Some reason
+
+  let read_only t = t.read_only
 
   let nvm t = t.nvm
 

@@ -27,7 +27,22 @@ exception Drain_stalled of string
 (** {!Make.drain} exceeded its simulated-cycle budget
     ({!Config.drain_budget}) without retiring every committed transaction.
     The payload is a diagnostic of the stuck pipeline: durable/applied IDs,
-    volatile-log backlog, ring occupancy, queued reproduce items. *)
+    volatile-log backlog, ring occupancy, queued reproduce items, daemon
+    restart/backoff counters and the backpressure state — so a stall caused
+    by a crash-looping daemon is distinguishable from ring-full
+    livelock. *)
+
+exception Read_only of string
+(** The instance is in degraded read-only mode (see {!Make.freeze}):
+    transactional writes, [pmalloc] and [pfree] are rejected with the
+    reason the instance was frozen; reads still work. *)
+
+exception Daemon_fault of string
+(** Injected transient Persist/Reproduce worker failure (seeded via
+    {!Config.daemon_fault_rate}; never raised in production
+    configurations).  Handled by the daemon supervisor, which restarts the
+    worker from its persistent position with capped exponential backoff —
+    it escapes only if a fault fires outside any supervised daemon. *)
 
 type recovery_report = {
   durable : int;  (** recovered durable ID: state equals this prefix *)
@@ -65,7 +80,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   (** Recover from a crashed device: scan the log rings, recompute the
       durable ID, replay durable transactions past the checkpoint, discard
       torn tails, rebuild the allocator, and return a fresh instance whose
-      transaction IDs continue after the recovered prefix. *)
+      transaction IDs continue after the recovered prefix.
+
+      Recovery is itself crash-consistent: a pending scrub probe recorded
+      in the intent journal ({!Rjournal}) is undone first, the recovery
+      verdict is sealed in the journal before any heap mutation, and a
+      crash at any persist boundary inside [attach] followed by a fresh
+      [attach] converges to the same durable ID, heap state and recovery
+      report. *)
 
   val start : t -> unit
   (** Spawn the Persist and Reproduce daemon threads.  Must run inside
@@ -129,6 +151,18 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val wait_durable : t -> int -> unit
   (** Block until [durable_id t >= tid]. *)
 
+  (** {1 Degraded mode} *)
+
+  val freeze : t -> reason:string -> unit
+  (** Enter degraded read-only mode: subsequent transactional writes,
+      [pmalloc] and [pfree] raise {!Read_only} with [reason]; reads and
+      read-only transactions continue to work.  Used when scrub reports
+      unreconstructible extents — serve what survived instead of refusing
+      to attach. *)
+
+  val read_only : t -> string option
+  (** [Some reason] when frozen. *)
+
   (** {1 Introspection} *)
 
   val config : t -> Config.t
@@ -145,7 +179,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val stats : t -> Dudetm_sim.Stats.t
   (** ["txs"], ["log_entries"], ["flush_records"], ["flush_payload_bytes"],
       ["combine_writes_in"], ["combine_writes_out"],
-      ["compress_in_bytes"], ["compress_out_bytes"]. *)
+      ["compress_in_bytes"], ["compress_out_bytes"]; supervision and
+      backpressure: ["daemon_faults"], ["daemon_restarts"],
+      ["daemon_backoff_cycles"], ["bp_throttle_events"],
+      ["bp_throttle_cycles"], ["pmalloc_waits"], ["pmalloc_wait_cycles"],
+      and high-water marks ["plog_hwm_bytes"], ["vlog_hwm_entries"]. *)
 
   val tm : t -> Tm.t
 

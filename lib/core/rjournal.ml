@@ -1,0 +1,124 @@
+module Nvm = Dudetm_nvm.Nvm
+module Checksum = Dudetm_log.Checksum
+
+type verdict = {
+  v_durable : int;
+  v_replayed_txs : int;
+  v_discarded_txs : int;
+  v_discarded_records : int;
+  v_corrupted_records : int;
+  v_quarantined_lines : int;
+}
+
+type intent =
+  | Idle
+  | Replay of verdict
+  | Probe of { line : int; original : int64 }
+
+type t = {
+  nvm : Nvm.t;
+  base : int;
+  mutable next_seq : int;
+  mutable next_slot : int;  (* 0 or 1 *)
+  mutable current : intent;
+}
+
+(* Slot layout: seq u64, kind u64, six payload u64s, crc u64.  The CRC
+   covers everything before it.  Slots are 128 bytes apart so the two
+   never share a cache line. *)
+let slot_size = 128
+
+let slot_bytes = 72
+
+let kind_of = function Idle -> 0 | Replay _ -> 1 | Probe _ -> 2
+
+let payload_of = function
+  | Idle -> [| 0L; 0L; 0L; 0L; 0L; 0L |]
+  | Replay v ->
+    [|
+      Int64.of_int v.v_durable;
+      Int64.of_int v.v_replayed_txs;
+      Int64.of_int v.v_discarded_txs;
+      Int64.of_int v.v_discarded_records;
+      Int64.of_int v.v_corrupted_records;
+      Int64.of_int v.v_quarantined_lines;
+    |]
+  | Probe { line; original } ->
+    [| Int64.of_int line; original; 0L; 0L; 0L; 0L |]
+
+let encode intent ~seq =
+  let b = Bytes.make slot_bytes '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int seq);
+  Bytes.set_int64_le b 8 (Int64.of_int (kind_of intent));
+  Array.iteri (fun i w -> Bytes.set_int64_le b (16 + (8 * i)) w) (payload_of intent);
+  let crc = Checksum.crc32 b 0 (slot_bytes - 8) in
+  Bytes.set_int64_le b (slot_bytes - 8) (Int64.of_int32 crc);
+  b
+
+let decode_raw nvm ~slot_base =
+  let b = Nvm.load_bytes nvm slot_base slot_bytes in
+  let crc = Int64.to_int32 (Bytes.get_int64_le b (slot_bytes - 8)) in
+  if Checksum.crc32 b 0 (slot_bytes - 8) <> crc then None
+  else begin
+    let seq = Int64.to_int (Bytes.get_int64_le b 0) in
+    let word i = Bytes.get_int64_le b (16 + (8 * i)) in
+    let int i = Int64.to_int (word i) in
+    match Int64.to_int (Bytes.get_int64_le b 8) with
+    | 0 -> Some (seq, Idle)
+    | 1 ->
+      Some
+        ( seq,
+          Replay
+            {
+              v_durable = int 0;
+              v_replayed_txs = int 1;
+              v_discarded_txs = int 2;
+              v_discarded_records = int 3;
+              v_corrupted_records = int 4;
+              v_quarantined_lines = int 5;
+            } )
+    | 2 -> Some (seq, Probe { line = int 0; original = word 1 })
+    | _ -> None
+  end
+
+let decode nvm ~slot_base =
+  match decode_raw nvm ~slot_base with
+  | exception Nvm.Media_error _ -> None  (* a poisoned slot is just an invalid slot *)
+  | r -> r
+
+let slot_base t i = t.base + (i * slot_size)
+
+let write_slot t slot intent ~seq =
+  let b = encode intent ~seq in
+  Nvm.store_bytes t.nvm (slot_base t slot) b;
+  Nvm.persist t.nvm ~off:(slot_base t slot) ~len:(Bytes.length b)
+
+let format nvm ~base =
+  let t = { nvm; base; next_seq = 2; next_slot = 0; current = Idle } in
+  write_slot t 0 Idle ~seq:0;
+  write_slot t 1 Idle ~seq:1;
+  t
+
+let attach nvm ~base =
+  let s0 = decode nvm ~slot_base:base in
+  let s1 = decode nvm ~slot_base:(base + slot_size) in
+  match (s0, s1) with
+  | None, None ->
+    (* Both slots torn or poisoned: no intent can have been sealed, so the
+       only safe reading is "no recovery in progress".  Self-heal. *)
+    format nvm ~base
+  | Some (seq, it), None ->
+    { nvm; base; next_seq = seq + 1; next_slot = 1; current = it }
+  | None, Some (seq, it) ->
+    { nvm; base; next_seq = seq + 1; next_slot = 0; current = it }
+  | Some (q0, i0), Some (q1, i1) ->
+    if q0 > q1 then { nvm; base; next_seq = q0 + 1; next_slot = 1; current = i0 }
+    else { nvm; base; next_seq = q1 + 1; next_slot = 0; current = i1 }
+
+let read t = t.current
+
+let write t intent =
+  write_slot t t.next_slot intent ~seq:t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.next_slot <- 1 - t.next_slot;
+  t.current <- intent

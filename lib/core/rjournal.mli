@@ -1,0 +1,54 @@
+(** Recovery intent journal.
+
+    Recovery ({!Dudetm.Make.attach}) and offline scrub themselves mutate
+    NVM — replaying log records onto the heap, resealing CRC extents,
+    writing probe patterns into suspected-stuck lines, recycling rings.
+    To make those paths idempotent under a crash at {e any} persist
+    boundary, every destructive recovery-time write is ordered behind a
+    small CRC-sealed intent sealed here first:
+
+    - {!Probe}: scrub is about to overwrite [line] with a test pattern;
+      [original] is the word it must restore.  A crash between the pattern
+      write and the restore leaves the journal pointing at the damage, and
+      the next [attach]/[scrub] undoes it before trusting the heap.
+    - {!Replay}: [attach] has computed its recovery verdict (durable ID and
+      report counters) and is about to mutate the heap/checkpoint/rings.
+      A re-attach after a crash mid-recovery adopts the sealed verdict, so
+      the recovery report converges no matter where the crash landed.
+
+    The journal is a double-slot record exactly like {!Checkpoint}: each
+    write goes to the older slot with an incremented sequence number and a
+    CRC32 seal, so a torn intent write simply leaves the previous intent
+    in force. *)
+
+type verdict = {
+  v_durable : int;  (** durable transaction ID recovery converged on *)
+  v_replayed_txs : int;
+  v_discarded_txs : int;
+  v_discarded_records : int;
+  v_corrupted_records : int;
+  v_quarantined_lines : int;
+}
+
+type intent =
+  | Idle  (** no recovery in progress *)
+  | Replay of verdict
+      (** attach sealed this verdict before mutating; adopt it on re-attach *)
+  | Probe of { line : int; original : int64 }
+      (** scrub is probing [line]; restore [original] before trusting the
+          heap *)
+
+type t
+
+val format : Dudetm_nvm.Nvm.t -> base:int -> t
+(** Initialise both slots to {!Idle} (fresh device). *)
+
+val attach : Dudetm_nvm.Nvm.t -> base:int -> t
+(** Decode the newest valid slot.  If both slots are torn or poisoned no
+    intent can ever have been sealed, so the journal self-heals back to
+    {!Idle}. *)
+
+val read : t -> intent
+
+val write : t -> intent -> unit
+(** Seal [intent] into the older slot and persist it before returning. *)

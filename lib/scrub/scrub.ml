@@ -5,6 +5,7 @@ module Config = Dudetm_core.Config
 module Checkpoint = Dudetm_core.Checkpoint
 module Crcdir = Dudetm_core.Crcdir
 module Badline = Dudetm_core.Badline
+module Rjournal = Dudetm_core.Rjournal
 
 type report = {
   ckpt : [ `Ok | `Repaired | `Degraded | `Fatal ];
@@ -144,6 +145,21 @@ let scrub ?(repair = true) ?(probe_stuck = false) cfg nvm =
   Config.validate cfg;
   if Nvm.size nvm <> Config.nvm_size cfg then
     invalid_arg "Scrub.scrub: device size does not match the configuration";
+  (* Recovery-time writes are ordered behind the intent journal (see
+     {!Dudetm_core.Rjournal}).  A previous scrub may have crashed between
+     writing a probe pattern into a heap line and restoring the original
+     word; undo that first, before any audit trusts the heap.  The
+     Skip_recovery_journal mutant bypasses the journal so the nested-crash
+     campaign can prove it catches exactly this. *)
+  let use_journal = cfg.Config.fault <> Config.Skip_recovery_journal in
+  let rjournal = Rjournal.attach nvm ~base:(Config.rjournal_base cfg) in
+  (match Rjournal.read rjournal with
+  | Rjournal.Probe { line; original } when use_journal ->
+    let ls = Nvm.line_size nvm in
+    Nvm.store_u64 nvm (line * ls) original;
+    Nvm.persist nvm ~off:(line * ls) ~len:8;
+    Rjournal.write rjournal Rjournal.Idle
+  | _ -> ());
   let poison_cleared = if repair then clear_poison nvm else 0 in
   if poison_cleared > 0 then begin
     Nvm.note_media_detected nvm poison_cleared;
@@ -236,10 +252,19 @@ let scrub ?(repair = true) ?(probe_stuck = false) cfg nvm =
        content drops writes and gets remapped. *)
     if repair && probe_stuck then begin
       let ls = Nvm.line_size nvm in
+      let probed_any = ref false in
       for l = 0 to (cfg.Config.heap_size / ls) - 1 do
         if not (Badline.mem badlines l) then begin
           let original = Nvm.persisted_u64 nvm (l * ls) in
           let pattern = Int64.lognot original in
+          (* Seal the probe intent before the destructive write: a crash
+             between the pattern persist and the restore below would
+             otherwise leave the complement in live data with nothing
+             pointing at it.  Each intent supersedes the previous line's
+             (that probe completed), so one Idle at the end suffices. *)
+          if use_journal then
+            Rjournal.write rjournal (Rjournal.Probe { line = l; original });
+          probed_any := true;
           Nvm.store_u64 nvm (l * ls) pattern;
           Nvm.persist nvm ~off:(l * ls) ~len:8;
           if Nvm.persisted_u64 nvm (l * ls) <> pattern then begin
@@ -251,7 +276,8 @@ let scrub ?(repair = true) ?(probe_stuck = false) cfg nvm =
             Nvm.persist nvm ~off:(l * ls) ~len:8
           end
         end
-      done
+      done;
+      if use_journal && !probed_any then Rjournal.write rjournal Rjournal.Idle
     end;
     {
       ckpt = ckpt_status;

@@ -252,7 +252,10 @@ let run ?(on_retry = fun () -> ()) tm f =
       | pair -> Some pair
       | exception Retry ->
         on_retry ();
-        Sched.advance (32 + Rng.int tm.rng (32 lsl min round 6));
+        let pause = 32 + Rng.int tm.rng (32 lsl min round 6) in
+        Stats.incr tm.stats "backoffs";
+        Stats.add tm.stats "backoff_cycles" pause;
+        Sched.advance pause;
         attempt (round + 1)
       | exception Capacity ->
         on_retry ();

@@ -163,7 +163,10 @@ let run ?(on_retry = fun () -> ()) tm f =
       on_retry ();
       (* Randomized exponential backoff, capped: the standard STM recipe. *)
       let cap = min 4096 (64 lsl min round 10) in
-      Sched.advance (64 + Rng.int tm.rng cap);
+      let pause = 64 + Rng.int tm.rng cap in
+      Stats.incr tm.stats "backoffs";
+      Stats.add tm.stats "backoff_cycles" pause;
+      Sched.advance pause;
       attempt (round + 1)
     | exception Tm_intf.User_abort ->
       on_retry ();

@@ -83,5 +83,7 @@ module type S = sig
 
   val stats : t -> Dudetm_sim.Stats.t
   (** Counters: ["commits"], ["aborts"], ["reads"], ["writes"],
-      ["read_only_commits"], plus implementation-specific ones. *)
+      ["read_only_commits"], ["backoffs"] (conflict-retry backoff pauses
+      taken) and ["backoff_cycles"] (simulated cycles spent in them), plus
+      implementation-specific ones. *)
 end

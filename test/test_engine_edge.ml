@@ -167,7 +167,7 @@ let test_combined_group_sizes () =
 let test_config_validation () =
   let reject msg cfg = Alcotest.check_raises msg (Invalid_argument "dummy") (fun () ->
       try Config.validate cfg
-      with Invalid_argument _ -> raise (Invalid_argument "dummy"))
+      with Config.Invalid_config _ -> raise (Invalid_argument "dummy"))
   in
   reject "unaligned heap" { base_cfg with Config.heap_size = 12345 };
   reject "combine with many persist threads"

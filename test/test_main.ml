@@ -17,4 +17,5 @@ let () =
       ("check", Test_check.suite);
       ("scrub", Test_scrub.suite);
       ("media", Test_media.suite);
+      ("recovery", Test_recovery.suite);
     ]

@@ -232,7 +232,12 @@ let test_stm_abort_stats () =
          done));
   let s = Tinystm.stats tm in
   check Alcotest.int "commits counted" 200 (Stats.get s "commits");
-  check Alcotest.bool "aborts counted" true (Stats.get s "aborts" > 0)
+  check Alcotest.bool "aborts counted" true (Stats.get s "aborts" > 0);
+  (* Every conflict rollback takes a randomized backoff pause; both the
+     pause count and the simulated cycles spent must be visible. *)
+  check Alcotest.int "backoffs = aborts" (Stats.get s "aborts") (Stats.get s "backoffs");
+  check Alcotest.bool "backoff cycles accumulated" true
+    (Stats.get s "backoff_cycles" >= 64 * Stats.get s "backoffs")
 
 (* ----------------------------- HTM specifics ------------------------- *)
 
