@@ -24,6 +24,7 @@ let experiments scale full =
     ("ablation", fun () -> Ablation.run ~scale ());
     ("ycsb", fun () -> Ycsb_bench.run ~scale ());
     ("recovery", fun () -> Recovery_bench.run ~scale ());
+    ("trace", fun () -> Trace_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -39,6 +40,7 @@ let bechamel_tests =
     ("ablation", Ablation.tiny);
     ("ycsb", Ycsb_bench.tiny);
     ("recovery", Recovery_bench.tiny);
+    ("trace", Trace_bench.tiny);
   ]
 
 let run_bechamel () =

@@ -19,6 +19,8 @@ module D = Dudetm_core.Dudetm.Make (Dudetm_tm.Tinystm)
 (* ------------------------------- run ---------------------------------- *)
 
 let workload_of_string = function
+  | "kv" -> Ok (H.kv_bench ())
+  | "kv-tree" -> Ok (H.kv_bench ~storage:W.Kv.Tree ())
   | "hashtable" -> Ok (H.hashtable_bench ())
   | "bptree" -> Ok (H.bptree_bench ())
   | "tatp-hash" -> Ok (H.tatp_bench ~storage:W.Kv.Hash ())
@@ -30,7 +32,7 @@ let workload_of_string = function
     Error
       (`Msg
         (Printf.sprintf
-           "unknown workload %S (try hashtable, bptree, tatp-hash, tatp-tree, tpcc-hash, tpcc-tree, tpcc-mixed)"
+           "unknown workload %S (try kv, kv-tree, hashtable, bptree, tatp-hash, tatp-tree, tpcc-hash, tpcc-tree, tpcc-mixed)"
            s))
 
 let system_of_string = function
@@ -100,6 +102,129 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload on one system and report throughput.")
     Term.(ret (const run $ workload $ system $ ntxs $ threads $ bandwidth $ latency $ counters))
+
+(* ------------------------------- trace --------------------------------- *)
+
+module Trace = Dudetm_trace.Trace
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt workload_conv (H.kv_bench ())
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload to profile (default kv).")
+  in
+  let system =
+    Arg.(
+      value & opt system_conv H.Dude
+      & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"Durable-transaction system.")
+  in
+  let ntxs =
+    Arg.(value & opt int 0 & info [ "n"; "txs" ] ~doc:"Transactions to run (0 = default).")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Perform threads.") in
+  let bandwidth =
+    Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"NVM write bandwidth, GB/s.")
+  in
+  let latency =
+    Arg.(value & opt int 1000 & info [ "latency" ] ~doc:"Persist latency, cycles.")
+  in
+  let ring =
+    Arg.(
+      value & opt int 65536
+      & info [ "ring" ] ~doc:"Trace ring capacity, events (oldest are dropped on wrap).")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("chrome", `Chrome); ("summary", `Summary) ]) `None
+      & info [ "export" ] ~docv:"FORMAT"
+          ~doc:
+            "Write the trace to a file: $(b,chrome) for Chrome trace_event JSON \
+             (chrome://tracing, Perfetto), $(b,summary) for the machine-readable \
+             per-phase profile.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file for --export (default dudetm_trace.json / dudetm_summary.json).")
+  in
+  let run workload system ntxs threads bandwidth latency ring export out =
+    if system = H.Nvml && not workload.H.static_ok then
+      `Error (false, "NVML only supports the hash-based (static) workloads")
+    else begin
+      let bench = if ntxs > 0 then { workload with H.ntxs } else workload in
+      let ptm = H.make_system ~nthreads:threads ~latency ~bandwidth system in
+      Trace.enable ~capacity:ring ();
+      let r = H.run_bench ptm bench in
+      Trace.disable ();
+      let total_cycles = r.H.run_cycles in
+      Printf.printf "%s on %s: %d transactions, %d threads, %.1f GB/s, %d-cycle persists\n"
+        bench.H.bname ptm.Dudetm_baselines.Ptm_intf.name r.H.ntxs_run threads bandwidth
+        latency;
+      Printf.printf "  throughput:  %s    wall cycles: %d\n\n" (H.pp_ktps r.H.ktps)
+        total_cycles;
+      Printf.printf "  %-24s %9s %14s %7s %9s %9s %9s\n" "phase" "count" "cycles" "%wall"
+        "p50" "p99" "max";
+      List.iter
+        (fun p ->
+          Printf.printf "  %-24s %9d %14d %6.1f%% %9d %9d %9d\n"
+            (p.Trace.ph_cat ^ "." ^ p.Trace.ph_name)
+            p.Trace.ph_count p.Trace.ph_total
+            (100.0 *. float_of_int p.Trace.ph_total /. float_of_int (max 1 total_cycles))
+            p.Trace.ph_p50 p.Trace.ph_p99 p.Trace.ph_max)
+        (Trace.phases ());
+      let accts = Trace.nvm_accts () in
+      if accts <> [] then begin
+        Printf.printf "\n  NVM channel, by issuing thread:\n";
+        Printf.printf "  %-24s %12s %14s %9s %12s\n" "thread" "bytes" "cycles" "ops"
+          "utilization";
+        List.iter
+          (fun a ->
+            Printf.printf "  %-24s %12d %14d %9d %11.1f%%\n" a.Trace.nv_thread
+              a.Trace.nv_bytes a.Trace.nv_cycles a.Trace.nv_ops
+              (100.0 *. float_of_int a.Trace.nv_cycles /. float_of_int (max 1 total_cycles)))
+          accts
+      end;
+      Printf.printf "\n  trace: %d events (%d dropped), %d phases\n" (Trace.events ())
+        (Trace.dropped ())
+        (List.length (Trace.phases ()));
+      let violations = Trace.validate () in
+      (match export with
+      | `None -> ()
+      | `Chrome ->
+        let file = Option.value out ~default:"dudetm_trace.json" in
+        write_file file (Trace.to_chrome_json ());
+        Printf.printf "  wrote Chrome trace_event JSON to %s\n" file
+      | `Summary ->
+        let file = Option.value out ~default:"dudetm_summary.json" in
+        write_file file (Trace.summary_json ~total_cycles ());
+        Printf.printf "  wrote profile summary to %s\n" file);
+      match violations with
+      | [] ->
+        Printf.printf "  self-validation: clean\n";
+        `Ok ()
+      | vs ->
+        List.iter (fun v -> Printf.printf "  trace violation: %s\n" v) vs;
+        `Error (false, "trace self-validation failed")
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Profile a workload with cycle-accurate tracing: per-phase cycle attribution \
+          (Perform / Persist / Reproduce / TM), NVM channel utilization per daemon, and \
+          optional Chrome trace_event export.")
+    Term.(
+      ret
+        (const run $ workload $ system $ ntxs $ threads $ bandwidth $ latency $ ring
+       $ export $ out))
 
 (* ------------------------------ torture ------------------------------- *)
 
@@ -621,4 +746,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dudetm" ~doc)
-          [ run_cmd; torture_cmd; check_cmd; scrub_cmd; layout_cmd ]))
+          [ run_cmd; trace_cmd; torture_cmd; check_cmd; scrub_cmd; layout_cmd ]))

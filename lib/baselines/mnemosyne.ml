@@ -5,6 +5,7 @@ module Rng = Dudetm_sim.Rng
 module Lock_table = Dudetm_tm.Lock_table
 module Tm_intf = Dudetm_tm.Tm_intf
 module Alloc = Dudetm_core.Alloc
+module Trace = Dudetm_trace.Trace
 
 type config = {
   heap_size : int;
@@ -145,7 +146,8 @@ let truncate_log t thread =
   Nvm.store_u64 t.nvm (log_base t thread) 0L;
   Nvm.persist t.nvm ~off:(log_base t thread) ~len:8;
   t.log_cursor.(thread) <- 0;
-  Stats.incr t.stats "log_truncations"
+  Stats.incr t.stats "log_truncations";
+  Trace.instant ~cat:"persist" "truncate" thread
 
 let commit tx =
   let t = tx.m in
@@ -202,7 +204,9 @@ let commit tx =
     let wv = t.clock + 1 in
     t.clock <- wv;
     (* Persist the redo log synchronously: the per-transaction stall DudeTM
-       decouples away. *)
+       decouples away.  The span makes that stall directly comparable to
+       DudeTM's off-critical-path persist.flush. *)
+    Trace.span_begin ~cat:"persist" "log_persist";
     let record_bytes = 16 + (16 * n) in
     if record_bytes + 8 > t.cfg.log_size then
       invalid_arg "Mnemosyne: transaction log too large";
@@ -236,6 +240,7 @@ let commit tx =
     (* CLFLUSH invalidated the freshly written log lines: charge the
        refill penalty. *)
     Sched.advance (t.cfg.clflush_penalty * ((record_bytes + 63) / 64));
+    Trace.span_end ~cat:"persist" "log_persist";
     (* Apply in place; these stores may linger in cache (the log covers
        them). *)
     List.iter
@@ -249,6 +254,7 @@ let commit tx =
   end
 
 let atomically_impl t ~thread f =
+  Trace.span ~cat:"perform" "tx" @@ fun () ->
   let rec attempt round =
     Sched.advance t.cfg.tm_costs.Tm_intf.begin_cost;
     let uid = t.next_uid in

@@ -3,6 +3,7 @@ module Sched = Dudetm_sim.Sched
 module Stats = Dudetm_sim.Stats
 module Lock_table = Dudetm_tm.Lock_table
 module Alloc = Dudetm_core.Alloc
+module Trace = Dudetm_trace.Trace
 
 type config = {
   heap_size : int;
@@ -86,6 +87,7 @@ let release_locks t ~version held =
     held
 
 let atomically_impl t ~thread ~wset f =
+  Trace.span ~cat:"perform" "tx" @@ fun () ->
   Sched.advance (t.cfg.tx_overhead + (t.cfg.undo_entry_cost * List.length wset));
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
@@ -105,8 +107,10 @@ let atomically_impl t ~thread ~wset f =
     wset;
   if Bytes.length record > t.cfg.log_size then invalid_arg "Nvml: write set exceeds log region";
   let lb = log_base t thread in
+  Trace.span_begin ~cat:"persist" "undo_log";
   Nvm.store_bytes t.nvm lb record;
   Nvm.persist t.nvm ~off:lb ~len:(Bytes.length record);
+  Trace.span_end ~cat:"persist" "undo_log";
   let in_set = Hashtbl.create (2 * max 1 n) in
   List.iter (fun a -> Hashtbl.replace in_set a ()) wset;
   let written = ref [] in
@@ -148,9 +152,11 @@ let atomically_impl t ~thread ~wset f =
   match f ptx with
   | result ->
     (* Commit: persist the in-place updates, then retire the undo log. *)
+    Trace.span_begin ~cat:"persist" "commit_persist";
     Nvm.persist_ranges t.nvm !written;
     Nvm.store_u64 t.nvm lb 0L;
     Nvm.persist t.nvm ~off:lb ~len:8;
+    Trace.span_end ~cat:"persist" "commit_persist";
     let tid = t.clock + 1 in
     t.clock <- tid;
     release_locks t ~version:(Some tid) held;

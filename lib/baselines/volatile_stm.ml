@@ -3,6 +3,7 @@ module Stats = Dudetm_sim.Stats
 module Sched = Dudetm_sim.Sched
 module Tm_intf = Dudetm_tm.Tm_intf
 module Alloc = Dudetm_core.Alloc
+module Trace = Dudetm_trace.Trace
 
 exception Volatile_oom
 
@@ -19,6 +20,7 @@ module Engine (Tm : Tm_intf.S) = struct
           allocs := []
         in
         let outcome =
+          Trace.span ~cat:"perform" "tx" @@ fun () ->
           Tm.run ~on_retry:cleanup tm (fun tm_tx ->
               let tx =
                 {

@@ -10,6 +10,7 @@ module Plog = Dudetm_log.Plog
 module Combine = Dudetm_log.Combine
 module Lz = Dudetm_log.Lz
 module Tm_intf = Dudetm_tm.Tm_intf
+module Trace = Dudetm_trace.Trace
 
 exception Pmem_exhausted
 
@@ -219,6 +220,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       | () -> ()
       | exception Daemon_fault _ ->
         Stats.incr t.stats "daemon_restarts";
+        Trace.instant ~cat:"daemon" "restart" !failures;
         let base = t.cfg.Config.daemon_backoff_base in
         let cap = t.cfg.Config.daemon_backoff_cap in
         let ceiling = min cap (base lsl min !failures 20) in
@@ -350,29 +352,31 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           Sched.wait_until ~label:"plog space" (fun () -> budget () >= need1 || t.stop_flag)
         else ();
       if budget () < need1 then false
-      else begin
-        let cut = find_cut (budget ()) in
-        assert (cut > hd);
-        let entries = List.init (cut - hd) (fun k -> Vlog.get vlog (hd + k)) in
-        let tids = Log_entry.tids entries in
-        Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
-        let payload = Log_entry.encode_payload entries in
-        (* Seeded mutant (checker self-test only): skip the record's persist
-           fence, so the durable ID published below covers a record still
-           sitting in the cache — a crash loses transactions the
-           application already acknowledged. *)
-        let record =
-          Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish) plog
-            payload
-        in
-        Stats.incr t.stats "flush_records";
-        Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
-        stat_max t.stats "plog_hwm_bytes" (Plog.used_space plog);
-        queue_items t i entries record;
-        Vlog.consume_to vlog cut;
-        note_flushed t tids;
-        true
-      end
+      else
+        (* The Fun.protect-based [Trace.span] keeps the trace balanced even
+           when the scheduler kills this daemon mid-flush. *)
+        Trace.span ~cat:"persist" "flush" (fun () ->
+            let cut = find_cut (budget ()) in
+            assert (cut > hd);
+            let entries = List.init (cut - hd) (fun k -> Vlog.get vlog (hd + k)) in
+            let tids = Log_entry.tids entries in
+            Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
+            let payload = Log_entry.encode_payload entries in
+            (* Seeded mutant (checker self-test only): skip the record's persist
+               fence, so the durable ID published below covers a record still
+               sitting in the cache — a crash loses transactions the
+               application already acknowledged. *)
+            let record =
+              Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish) plog
+                payload
+            in
+            Stats.incr t.stats "flush_records";
+            Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+            stat_max t.stats "plog_hwm_bytes" (Plog.used_space plog);
+            queue_items t i entries record;
+            Vlog.consume_to vlog cut;
+            note_flushed t tids;
+            true)
     end
 
   let persist_plain_loop t p =
@@ -432,58 +436,62 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       !n
     in
     let flush_group take =
-      let lo = t.next_flush in
-      let hi = lo + take - 1 in
-      let group =
-        List.concat_map
-          (fun tid ->
-            let es = Hashtbl.find staging tid in
-            es @ [ Log_entry.Tx_end { tid } ])
-          (List.init take (fun k -> lo + k))
-      in
-      let combined, cstats = Combine.combine group in
-      Stats.add t.stats "combine_writes_in" cstats.Combine.writes_in;
-      Stats.add t.stats "combine_writes_out" cstats.Combine.writes_out;
-      Sched.advance (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
-      let payload =
-        if t.cfg.Config.compress then begin
-          let body = Log_entry.encode_list combined in
-          Sched.advance
-            (int_of_float
-               (float_of_int (Bytes.length body) *. t.cfg.Config.compress_cost_per_byte));
-          let comp = Lz.compress body in
-          Stats.add t.stats "compress_in_bytes" (Bytes.length body);
-          Stats.add t.stats "compress_out_bytes" (Bytes.length comp);
-          Log_entry.encode_payload ~compress:true combined
-        end
-        else Log_entry.encode_payload combined
-      in
-      let need = Plog.record_overhead + Bytes.length payload in
-      if need > Plog.data_capacity t.plogs.(0) then
-        invalid_arg "Dudetm: combined group exceeds the persistent log ring";
-      Sched.wait_until ~label:"plog space (combined)" (fun () ->
-          Plog.free_space t.plogs.(0) >= need);
-      let record =
-        Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
-          t.plogs.(0) payload
-      in
-      Stats.incr t.stats "flush_records";
-      Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
-      stat_max t.stats "plog_hwm_bytes" (Plog.used_space t.plogs.(0));
-      Queue.push
-        {
-          lo;
-          hi;
-          entries = combined;
-          region = 0;
-          end_off = record.Plog.end_off;
-          rec_next_seq = record.Plog.seq + 1;
-          last_of_record = true;
-        }
-        t.queues.(0);
-      List.iter (fun k -> Hashtbl.remove staging (lo + k)) (List.init take (fun k -> k));
-      note_flushed t (List.init take (fun k -> lo + k));
-      t.next_flush <- hi + 1
+      Trace.span ~cat:"persist" "flush_group" (fun () ->
+          let lo = t.next_flush in
+          let hi = lo + take - 1 in
+          let group =
+            List.concat_map
+              (fun tid ->
+                let es = Hashtbl.find staging tid in
+                es @ [ Log_entry.Tx_end { tid } ])
+              (List.init take (fun k -> lo + k))
+          in
+          let combined, cstats = Combine.combine group in
+          Stats.add t.stats "combine_writes_in" cstats.Combine.writes_in;
+          Stats.add t.stats "combine_writes_out" cstats.Combine.writes_out;
+          Trace.sample ~cat:"persist" "combine"
+            (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
+          Sched.advance (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
+          let payload =
+            if t.cfg.Config.compress then
+              Trace.span ~cat:"persist" "compress" (fun () ->
+                  let body = Log_entry.encode_list combined in
+                  Sched.advance
+                    (int_of_float
+                       (float_of_int (Bytes.length body)
+                       *. t.cfg.Config.compress_cost_per_byte));
+                  let comp = Lz.compress body in
+                  Stats.add t.stats "compress_in_bytes" (Bytes.length body);
+                  Stats.add t.stats "compress_out_bytes" (Bytes.length comp);
+                  Log_entry.encode_payload ~compress:true combined)
+            else Log_entry.encode_payload combined
+          in
+          let need = Plog.record_overhead + Bytes.length payload in
+          if need > Plog.data_capacity t.plogs.(0) then
+            invalid_arg "Dudetm: combined group exceeds the persistent log ring";
+          Sched.wait_until ~label:"plog space (combined)" (fun () ->
+              Plog.free_space t.plogs.(0) >= need);
+          let record =
+            Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
+              t.plogs.(0) payload
+          in
+          Stats.incr t.stats "flush_records";
+          Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+          stat_max t.stats "plog_hwm_bytes" (Plog.used_space t.plogs.(0));
+          Queue.push
+            {
+              lo;
+              hi;
+              entries = combined;
+              region = 0;
+              end_off = record.Plog.end_off;
+              rec_next_seq = record.Plog.seq + 1;
+              last_of_record = true;
+            }
+            t.queues.(0);
+          List.iter (fun k -> Hashtbl.remove staging (lo + k)) (List.init take (fun k -> k));
+          note_flushed t (List.init take (fun k -> lo + k));
+          t.next_flush <- hi + 1)
     in
     let rec loop () =
       maybe_fault t "persist";
@@ -533,6 +541,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     t.persisted_data <- applied t
 
   let do_checkpoint t =
+    Trace.span ~cat:"reproduce" "checkpoint" @@ fun () ->
     (* A daemon restart may have left applied items whose data persist is
        still pending; fence them before the checkpoint can cover them. *)
     flush_reproduced t;
@@ -605,6 +614,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       t.pending_recycle <- (it.region, it.end_off, it.rec_next_seq) :: t.pending_recycle
 
   let reproduce_round t =
+    Trace.span ~cat:"reproduce" "replay" @@ fun () ->
     let applied_any = ref false in
     let batch = ref 0 in
     while t.durable > applied t && !batch < t.cfg.Config.reproduce_batch do
@@ -758,6 +768,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let write dtx addr value =
     require_writable dtx.t;
     touch dtx addr ~wrote:true;
+    Trace.sample ~cat:"perform" "log_append" dtx.t.cfg.Config.log_append_cost;
     Sched.advance dtx.t.cfg.Config.log_append_cost;
     Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Write { addr; value });
     Stats.incr dtx.t.stats "log_entries";
@@ -783,6 +794,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
            blocked (the scheduler would call it a deadlock).  Advancing
            always makes progress. *)
         Stats.incr t.stats "pmalloc_waits";
+        Trace.span_begin ~cat:"perform" "pmalloc_wait";
         let step = max 1 (budget / 32) in
         let elapsed = ref 0 in
         let result = ref None in
@@ -793,6 +805,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           result := Alloc.alloc t.allocator n
         done;
         Stats.add t.stats "pmalloc_wait_cycles" !elapsed;
+        Trace.span_end ~cat:"perform" "pmalloc_wait";
         !result
       end
 
@@ -839,6 +852,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       && Sched.running () && ring_pressure t
     then begin
       Stats.incr t.stats "bp_throttle_events";
+      Trace.span_begin ~cat:"perform" "bp_throttle";
       (* Advance-based polling, not [wait_until]: see
          [alloc_with_backpressure]. *)
       let budget = t.cfg.Config.bp_wait_budget in
@@ -851,13 +865,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         Sched.advance d;
         elapsed := !elapsed + d
       done;
-      Stats.add t.stats "bp_throttle_cycles" !elapsed
+      Stats.add t.stats "bp_throttle_cycles" !elapsed;
+      Trace.span_end ~cat:"perform" "bp_throttle"
     end
 
-  let atomically t ~thread f =
-    if thread < 0 || thread >= t.cfg.Config.nthreads then
-      invalid_arg "Dudetm.atomically: bad thread index";
-    throttle_on_pressure t;
+  let atomically_body t ~thread f =
     let vlog = t.vlogs.(thread) in
     let attempt : tx option ref = ref None in
     let cleanup () =
@@ -910,16 +922,36 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         (match t.cfg.Config.mode with
         | Config.Sync ->
           ignore (flush_thread t thread ~wait_space:true);
-          wait_durable t tid
+          Trace.span_begin ~cat:"perform" "sync_wait";
+          wait_durable t tid;
+          Trace.span_end ~cat:"perform" "sync_wait"
         | Config.Async | Config.Inf -> ());
         Some (value, tid)
       end
+
+  (* The perform span is opened/closed with explicit begin/end on every exit
+     (including re-raised exceptions like [Pmem_exhausted]) rather than the
+     closure-based [Trace.span]: this path runs once per transaction and must
+     allocate nothing when tracing is off. *)
+  let atomically t ~thread f =
+    if thread < 0 || thread >= t.cfg.Config.nthreads then
+      invalid_arg "Dudetm.atomically: bad thread index";
+    throttle_on_pressure t;
+    Trace.span_begin ~cat:"perform" "tx";
+    match atomically_body t ~thread f with
+    | r ->
+      Trace.span_end ~cat:"perform" "tx";
+      r
+    | exception e ->
+      Trace.span_end ~cat:"perform" "tx";
+      raise e
 
   (* ------------------------------------------------------------------ *)
   (* Recovery                                                            *)
   (* ------------------------------------------------------------------ *)
 
   let attach cfg nvm =
+    Trace.span ~cat:"recovery" "attach" @@ fun () ->
     Config.validate cfg;
     if Nvm.size nvm <> Config.nvm_size cfg then
       invalid_arg "Dudetm.attach: device size does not match the configuration";

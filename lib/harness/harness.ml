@@ -118,6 +118,26 @@ let bptree_bench ?(ntxs = 8_000) () =
           0);
   }
 
+let kv_bench ?(storage = W.Kv.Hash) ?(ntxs = 12_000) () =
+  {
+    bname = (match storage with W.Kv.Hash -> "KV (hash)" | W.Kv.Tree -> "KV (B+tree)");
+    think = 600;
+    ntxs;
+    static_ok = storage = W.Kv.Hash;
+    setup =
+      (fun ptm ->
+        let kv = W.Kv.setup ptm storage ~capacity:65536 in
+        fun ~thread ~rng ->
+          (* Mixed read/insert/update, YCSB-ish: 50% lookups, 30% inserts,
+             20% updates over a 64K key space. *)
+          let key = Int64.of_int (1 + Rng.int rng 0xFFFF) in
+          (match Rng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 -> ignore (W.Kv.lookup kv ~thread ~key)
+          | 5 | 6 | 7 -> ignore (W.Kv.insert kv ~thread ~key ~value:(Rng.next_int64 rng))
+          | _ -> ignore (W.Kv.update kv ~thread ~key ~value:(Rng.next_int64 rng)));
+          0);
+  }
+
 let tatp_bench ~storage ?(ntxs = 12_000) () =
   {
     bname = (match storage with W.Kv.Hash -> "TATP (hash)" | W.Kv.Tree -> "TATP (B+tree)");
@@ -171,6 +191,7 @@ type result = {
   ntxs_run : int;
   writes : int;  (** transactional writes executed (dtmWrite count) *)
   nvm_bytes : int;  (** bytes flushed to NVM during the measured phase *)
+  run_cycles : int;  (** full simulated run, setup through drain/stop *)
   counters : (string * int) list;
   latency : Stats.Latency.r;
 }
@@ -195,8 +216,8 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
   let nvm_bytes_of () =
     match ptm.Ptm.nvm with Some nvm -> Nvm.persisted_write_bytes nvm | None -> 0
   in
-  ignore
-    (Sched.run (fun () ->
+  let run_cycles =
+    Sched.run (fun () ->
          ptm.Ptm.start ();
          let do_tx = bench.setup ptm in
          start := Sched.now ();
@@ -245,7 +266,8 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
              Array.for_all (fun c -> c = per) done_);
          end_ := Sched.now ();
          ptm.Ptm.drain ();
-         ptm.Ptm.stop ()));
+         ptm.Ptm.stop ())
+  in
   let cycles = !end_ - !start in
   {
     ktps = (if cycles = 0 then 0.0 else float_of_int ntxs_run /. Cycles.to_seconds cycles /. 1e3);
@@ -253,6 +275,7 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
     ntxs_run;
     writes = writes_of () - !start_writes;
     nvm_bytes = nvm_bytes_of () - !start_bytes;
+    run_cycles;
     counters = ptm.Ptm.counters ();
     latency;
   }

@@ -53,6 +53,11 @@ val hashtable_bench : ?ntxs:int -> unit -> bench
 
 val bptree_bench : ?ntxs:int -> unit -> bench
 
+val kv_bench : ?storage:Dudetm_workloads.Kv.kind -> ?ntxs:int -> unit -> bench
+(** Mixed key-value microbenchmark (50% lookups / 30% inserts / 20%
+    updates, uniform 64K key space) — the workload driven by the
+    [dudetm trace] profiling subcommand.  [storage] defaults to hash. *)
+
 val tatp_bench : storage:Dudetm_workloads.Kv.kind -> ?ntxs:int -> unit -> bench
 
 val tpcc_bench :
@@ -79,6 +84,9 @@ type result = {
   ntxs_run : int;
   writes : int;  (** transactional writes executed *)
   nvm_bytes : int;  (** payload bytes flushed to NVM during the run *)
+  run_cycles : int;
+      (** full simulated run, setup through drain/stop — the wall-cycle
+          denominator for daemon utilization *)
   counters : (string * int) list;
   latency : Dudetm_sim.Stats.Latency.r;
       (** durable-acknowledgement latencies (Section 5.3 protocol), only

@@ -1,4 +1,5 @@
 module Nvm = Dudetm_nvm.Nvm
+module Trace = Dudetm_trace.Trace
 
 type t = {
   nvm : Nvm.t;
@@ -259,13 +260,17 @@ let append ?(persist = true) t payload =
   let r = { seq = t.seq; payload; end_off = t.tail + total } in
   t.tail <- t.tail + total;
   t.seq <- t.seq + 1;
+  Trace.instant ~cat:"plog" "append" total;
+  Trace.counter ~cat:"plog" "used" (used_space t);
   r
 
 let recycle_to t ~end_off ~next_seq =
   if end_off < t.head || end_off > t.tail then invalid_arg "Plog.recycle_to: bad offset";
   t.head <- end_off;
   t.head_seq <- next_seq;
-  persist_header t
+  persist_header t;
+  Trace.instant ~cat:"plog" "recycle" end_off;
+  Trace.counter ~cat:"plog" "used" (used_space t)
 
 let head_off t = t.head
 

@@ -1,6 +1,7 @@
 module Rng = Dudetm_sim.Rng
 module Sched = Dudetm_sim.Sched
 module Resource = Dudetm_sim.Resource
+module Trace = Dudetm_trace.Trace
 
 exception Media_error of int
 
@@ -255,8 +256,12 @@ let charge t bytes =
       Resource.transfer t.channel ~now:(Sched.now ()) ~bytes
         ~latency:t.cfg.Pmem_config.persist_latency
     in
+    (* Every cycle the NVM channel ever costs anyone flows through here, so
+       this one call gives the per-thread "who pays for persistence" split. *)
+    Trace.nvm_transfer ~bytes ~cycles:cost;
     Sched.advance cost
-  end;
+  end
+  else Trace.nvm_transfer ~bytes ~cycles:0;
   run_decay t
 
 let flush_range t ~off ~len =

@@ -6,6 +6,7 @@ module Checkpoint = Dudetm_core.Checkpoint
 module Crcdir = Dudetm_core.Crcdir
 module Badline = Dudetm_core.Badline
 module Rjournal = Dudetm_core.Rjournal
+module Trace = Dudetm_trace.Trace
 
 type report = {
   ckpt : [ `Ok | `Repaired | `Degraded | `Fatal ];
@@ -142,6 +143,7 @@ let check_written_back nvm badlines writes ~stuck_remapped ~table_full =
     final
 
 let scrub ?(repair = true) ?(probe_stuck = false) cfg nvm =
+  Trace.span ~cat:"recovery" "scrub" @@ fun () ->
   Config.validate cfg;
   if Nvm.size nvm <> Config.nvm_size cfg then
     invalid_arg "Scrub.scrub: device size does not match the configuration";

@@ -1,6 +1,8 @@
 exception Deadlock of string
 exception Killed
 
+module Trace = Dudetm_trace.Trace
+
 type _ Effect.t +=
   | Advance : int -> unit Effect.t
   | Wait : (unit -> bool) * string -> unit Effect.t
@@ -42,9 +44,13 @@ type sched = {
    scheduler is safe and keeps the public API free of a [t] parameter. *)
 let current : sched option ref = ref None
 
+(* [finish] runs on the scheduler's own stack (retc/exnc/kill_daemons), where
+   the Now/Self effects are unhandled — trace events here must carry the
+   thread's clock and id explicitly. *)
 let finish s t =
   if t.state <> Finished then begin
     t.state <- Finished;
+    Trace.instant_at ~ts:t.clock ~tid:t.id ~cat:"sched" "finish" 0;
     if not t.daemon then s.live_non_daemon <- s.live_non_daemon - 1
   end
 
@@ -80,6 +86,8 @@ let handler s t =
               let id = s.next_id in
               s.next_id <- id + 1;
               let nt = { id; name; daemon; clock = t.clock; state = Not_started f } in
+              Trace.note_thread ~tid:id name;
+              Trace.instant_at ~ts:t.clock ~tid:t.id ~cat:"sched" "spawn" id;
               s.rev_new <- nt :: s.rev_new;
               if not daemon then s.live_non_daemon <- s.live_non_daemon + 1;
               continue k id)
@@ -257,3 +265,11 @@ let spawn ?(daemon = false) name f =
 let global_now () = match !current with None -> 0 | Some s -> s.watermark
 
 let running () = !current <> None
+
+(* Hand the tracer our deterministic clock and thread identity.  Both fall
+   back to 0/"main" outside a simulation, so tracing recovery paths that run
+   before [Sched.run] stays safe (their spans just have zero duration). *)
+let () =
+  Trace.set_time_source
+    ~now:(fun () -> now ())
+    ~self:(fun () -> perform_default Self (0, "main"))

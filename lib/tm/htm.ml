@@ -1,6 +1,7 @@
 module Sched = Dudetm_sim.Sched
 module Stats = Dudetm_sim.Stats
 module Rng = Dudetm_sim.Rng
+module Trace = Dudetm_trace.Trace
 
 exception Retry
 exception Capacity
@@ -216,6 +217,7 @@ let run ?(on_retry = fun () -> ()) tm f =
   let run_fallback () =
     Stats.incr tm.stats "fallbacks";
     Sched.wait_until ~label:"htm fallback lock" (fun () -> tm.lock_owner = 0);
+    Trace.span_begin ~cat:"tm" "fallback";
     let tx = fresh_tx tm ~fallback:true in
     tm.lock_owner <- tx.uid;
     (* Acquiring the lock aborts every running hardware transaction: they
@@ -226,9 +228,12 @@ let run ?(on_retry = fun () -> ()) tm f =
       let tid = commit tx in
       (result, tid)
     with
-    | pair -> Some pair
+    | pair ->
+      Trace.span_end ~cat:"tm" "fallback";
+      Some pair
     | exception Tm_intf.User_abort ->
       on_retry ();
+      Trace.span_end ~cat:"tm" "fallback";
       None
     | exception e ->
       if tx.active then begin
@@ -237,37 +242,47 @@ let run ?(on_retry = fun () -> ()) tm f =
         drop tx
       end;
       on_retry ();
+      Trace.span_end ~cat:"tm" "fallback";
       raise e
   in
   let rec attempt round =
     if round >= tm.max_retries then run_fallback ()
     else begin
       Sched.wait_until ~label:"htm begin (fallback held)" (fun () -> tm.lock_owner = 0);
+      Trace.span_begin ~cat:"tm" "attempt";
       let tx = begin_tx tm in
       match
         let result = f tx in
         let tid = commit tx in
         (result, tid)
       with
-      | pair -> Some pair
+      | pair ->
+        Trace.span_end ~cat:"tm" "attempt";
+        Some pair
       | exception Retry ->
         on_retry ();
+        Trace.span_end ~cat:"tm" "attempt";
         let pause = 32 + Rng.int tm.rng (32 lsl min round 6) in
         Stats.incr tm.stats "backoffs";
         Stats.add tm.stats "backoff_cycles" pause;
+        Trace.sample ~cat:"tm" "backoff" pause;
+        Trace.instant ~cat:"tm" "backoff" pause;
         Sched.advance pause;
         attempt (round + 1)
       | exception Capacity ->
         on_retry ();
+        Trace.span_end ~cat:"tm" "attempt";
         (* Retrying cannot help a capacity overflow: go straight to the
            lock. *)
         run_fallback ()
       | exception Tm_intf.User_abort ->
         on_retry ();
+        Trace.span_end ~cat:"tm" "attempt";
         None
       | exception e ->
         if tx.active then drop tx;
         on_retry ();
+        Trace.span_end ~cat:"tm" "attempt";
         raise e
     end
   in

@@ -1,6 +1,7 @@
 module Sched = Dudetm_sim.Sched
 module Stats = Dudetm_sim.Stats
 module Rng = Dudetm_sim.Rng
+module Trace = Dudetm_trace.Trace
 
 exception Retry
 
@@ -152,28 +153,36 @@ let commit tx =
 
 let run ?(on_retry = fun () -> ()) tm f =
   let rec attempt round =
+    Trace.span_begin ~cat:"tm" "attempt";
     let tx = begin_tx tm in
     match
       let result = f tx in
       let tid = commit tx in
       (result, tid)
     with
-    | pair -> Some pair
+    | pair ->
+      Trace.span_end ~cat:"tm" "attempt";
+      Some pair
     | exception Retry ->
       on_retry ();
+      Trace.span_end ~cat:"tm" "attempt";
       (* Randomized exponential backoff, capped: the standard STM recipe. *)
       let cap = min 4096 (64 lsl min round 10) in
       let pause = 64 + Rng.int tm.rng cap in
       Stats.incr tm.stats "backoffs";
       Stats.add tm.stats "backoff_cycles" pause;
+      Trace.sample ~cat:"tm" "backoff" pause;
+      Trace.instant ~cat:"tm" "backoff" pause;
       Sched.advance pause;
       attempt (round + 1)
     | exception Tm_intf.User_abort ->
       on_retry ();
+      Trace.span_end ~cat:"tm" "attempt";
       None
     | exception e ->
       if tx.active then rollback tx;
       on_retry ();
+      Trace.span_end ~cat:"tm" "attempt";
       raise e
   in
   attempt 0

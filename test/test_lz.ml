@@ -61,6 +61,59 @@ let test_malformed_rejected () =
     (Invalid_argument "Lz.decompress: truncated literals") (fun () ->
       ignore (Lz.decompress (Bytes.of_string "\xF0a")))
 
+let test_all_zero_and_boundary_sizes () =
+  (* All-zero buffers and sizes straddling the format's boundaries: the
+     15-value literal/match nibbles, their 255-extension steps, and the
+     minimum-match threshold. *)
+  let sizes =
+    [ 0; 1; 2; 3; 4; 14; 15; 16; 17; 18; 19; 20; 254; 255; 256; 269; 270; 271; 274; 275;
+      525; 4096 ]
+  in
+  List.iter
+    (fun size ->
+      let zeros = Bytes.make size '\x00' in
+      if roundtrip zeros <> zeros then Alcotest.failf "all-zero size %d diverged" size;
+      let rng = Dudetm_sim.Rng.create (size + 1) in
+      let random = Bytes.init size (fun _ -> Char.chr (Dudetm_sim.Rng.int rng 256)) in
+      if roundtrip random <> random then Alcotest.failf "random size %d diverged" size)
+    sizes;
+  let big_zero = Bytes.make 65536 '\x00' in
+  check Alcotest.bytes "64K zeros roundtrip" big_zero (roundtrip big_zero);
+  check Alcotest.bool "64K zeros collapse" true (Bytes.length (Lz.compress big_zero) < 600)
+
+let prop_roundtrip_adversarial =
+  (* Fuzz over hostile structure: random interleavings of zero runs,
+     repeated motifs and incompressible noise, sized to cross the literal
+     and match extension boundaries. *)
+  QCheck2.Test.make ~name:"lz: roundtrip on adversarial zero/noise mixes" ~count:300
+    QCheck2.Gen.(
+      map
+        (fun pieces ->
+          String.concat ""
+            (List.map
+               (function
+                 | `Zeros n -> String.make n '\x00'
+                 | `Noise (seed, n) ->
+                   let rng = Dudetm_sim.Rng.create seed in
+                   String.init n (fun _ -> Char.chr (Dudetm_sim.Rng.int rng 256))
+                 | `Motif (seed, w, reps) ->
+                   let rng = Dudetm_sim.Rng.create seed in
+                   let m = String.init w (fun _ -> Char.chr (Dudetm_sim.Rng.int rng 256)) in
+                   String.concat "" (List.init reps (fun _ -> m)))
+               pieces))
+        (list_size (int_range 1 8)
+           (oneof
+              [
+                map (fun n -> `Zeros n) (int_range 0 300);
+                map2 (fun s n -> `Noise (s, n)) (int_range 0 1000) (int_range 0 300);
+                map3
+                  (fun s w r -> `Motif (s, w, r))
+                  (int_range 0 1000) (int_range 1 20) (int_range 1 40);
+              ])))
+    (fun s ->
+      let b = Bytes.of_string s in
+      roundtrip b = b)
+
 let prop_roundtrip =
   QCheck2.Test.make ~name:"lz: compress/decompress roundtrip" ~count:500
     QCheck2.Gen.(string_size (int_range 0 2000))
@@ -93,6 +146,8 @@ let suite =
     Alcotest.test_case "overlapping matches" `Quick test_overlapping_match;
     Alcotest.test_case "log payloads compress" `Quick test_log_payload_ratio;
     Alcotest.test_case "malformed input rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "all-zero and boundary sizes" `Quick test_all_zero_and_boundary_sizes;
+    QCheck_alcotest.to_alcotest prop_roundtrip_adversarial;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_roundtrip_structured;
   ]

@@ -18,4 +18,6 @@ let () =
       ("scrub", Test_scrub.suite);
       ("media", Test_media.suite);
       ("recovery", Test_recovery.suite);
+      ("trace", Test_trace.suite);
+      ("differential", Test_differential.suite);
     ]

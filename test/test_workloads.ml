@@ -50,6 +50,103 @@ let test_zipf_bounds () =
     if r < 0 || r >= 7 then Alcotest.fail "sample out of range"
   done
 
+let test_zipf_closed_form () =
+  (* The pmf must match the closed form p(i) = i^-theta / H_{n,theta}
+     exactly, sum to 1, and decrease monotonically. *)
+  List.iter
+    (fun theta ->
+      let n = 200 in
+      let z = W.Zipf.create ~n ~theta in
+      let h = ref 0.0 in
+      for i = 1 to n do
+        h := !h +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      let sum = ref 0.0 in
+      for i = 0 to n - 1 do
+        let p = W.Zipf.pmf z i in
+        let closed = 1.0 /. Float.pow (float_of_int (i + 1)) theta /. !h in
+        if abs_float (p -. closed) > 1e-12 then
+          Alcotest.failf "theta %.2f rank %d: pmf %.17g vs closed form %.17g" theta i p
+            closed;
+        if i > 0 && p > W.Zipf.pmf z (i - 1) +. 1e-15 then
+          Alcotest.failf "theta %.2f: pmf increases at rank %d" theta i;
+        sum := !sum +. p
+      done;
+      check (Alcotest.float 1e-9) "pmf sums to 1" 1.0 !sum)
+    [ 0.0; 0.5; 0.99; 1.07 ]
+
+let test_zipf_empirical_shape () =
+  (* Whole-distribution check, not just the head: with 200k samples every
+     rank's empirical frequency sits within a tight absolute band of its
+     pmf. *)
+  let n = 50 in
+  let z = W.Zipf.create ~n ~theta:0.9 in
+  let rng = Rng.create 77 in
+  let samples = 200_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    let r = W.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for i = 0 to n - 1 do
+    let freq = float_of_int counts.(i) /. float_of_int samples in
+    let p = W.Zipf.pmf z i in
+    if abs_float (freq -. p) > 0.006 then
+      Alcotest.failf "rank %d: frequency %.4f vs pmf %.4f" i freq p
+  done
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (W.Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "negative theta rejected"
+    (Invalid_argument "Zipf.create: negative theta") (fun () ->
+      ignore (W.Zipf.create ~n:10 ~theta:(-1.0)));
+  Alcotest.check_raises "pmf rank out of range"
+    (Invalid_argument "Zipf.pmf: rank out of range") (fun () ->
+      ignore (W.Zipf.pmf (W.Zipf.create ~n:10 ~theta:0.5) 10))
+
+(* ------------------------------- TATP -------------------------------- *)
+
+let test_tatp_initial_locations () =
+  let ptm = volatile () in
+  let t = W.Tatp.setup ptm ~storage:W.Kv.Hash ~subscribers:64 in
+  check Alcotest.int "subscriber count" 64 (W.Tatp.subscribers t);
+  for s = 1 to 64 do
+    check Alcotest.int64 "seeded location" (Int64.of_int (10_000 + s))
+      (W.Tatp.peek_location t ~s_id:s)
+  done
+
+let test_tatp_update_location_model () =
+  (* Mirror update_location's sampling with an identically-seeded RNG and
+     check the table tracks the model exactly. *)
+  let ptm = volatile () in
+  let n = 40 in
+  let t = W.Tatp.setup ptm ~storage:W.Kv.Hash ~subscribers:n in
+  let model = Array.init (n + 1) (fun s -> Int64.of_int (10_000 + s)) in
+  let rng = Rng.create 123 in
+  let shadow = Rng.create 123 in
+  for _ = 1 to 500 do
+    W.Tatp.update_location t ~thread:0 ~rng;
+    let s_id = 1 + Rng.int shadow n in
+    let loc = Int64.logand (Rng.next_int64 shadow) 0xFFFFFFFFL in
+    model.(s_id) <- loc
+  done;
+  for s = 1 to n do
+    check Alcotest.int64
+      (Printf.sprintf "subscriber %d tracks the model" s)
+      model.(s)
+      (W.Tatp.peek_location t ~s_id:s)
+  done
+
+let test_tatp_errors () =
+  let ptm = volatile () in
+  Alcotest.check_raises "zero subscribers rejected" (Invalid_argument "Tatp.setup")
+    (fun () -> ignore (W.Tatp.setup ptm ~storage:W.Kv.Hash ~subscribers:0));
+  let t = W.Tatp.setup ptm ~storage:W.Kv.Hash ~subscribers:8 in
+  Alcotest.check_raises "unknown subscriber" (Failure "Tatp: missing subscriber")
+    (fun () -> ignore (W.Tatp.peek_location t ~s_id:99))
+
 (* ----------------------------- hash table ---------------------------- *)
 
 let test_hashtable_model () =
@@ -455,6 +552,12 @@ let suite =
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "zipf uniform at theta 0" `Quick test_zipf_uniform_theta_zero;
     Alcotest.test_case "zipf sample bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf pmf matches closed form" `Quick test_zipf_closed_form;
+    Alcotest.test_case "zipf empirical shape" `Quick test_zipf_empirical_shape;
+    Alcotest.test_case "zipf invalid arguments" `Quick test_zipf_invalid_args;
+    Alcotest.test_case "tatp initial locations" `Quick test_tatp_initial_locations;
+    Alcotest.test_case "tatp update-location model" `Quick test_tatp_update_location_model;
+    Alcotest.test_case "tatp error paths" `Quick test_tatp_errors;
     Alcotest.test_case "hash table model check" `Quick test_hashtable_model;
     Alcotest.test_case "hash table full behaviour" `Quick test_hashtable_full;
     Alcotest.test_case "hash table update semantics" `Quick test_hashtable_update_semantics;
