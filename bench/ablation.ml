@@ -34,7 +34,8 @@ let ablation_persist_threads ~scale =
       let ptm, d = B.Dude_ptm.Stm.ptm cfg in
       let r = run_bench ptm bench in
       Printf.printf "%-18d %12s %16d\n%!" p (pp_ktps r.ktps)
-        (B.Dude_ptm.Stm.D.vlog_producer_blocks d))
+        (B.Dude_ptm.Stm.D.vlog_producer_blocks d);
+      if p = 1 then report_commit_latency "1 persist thread" r)
     [ 1; 2; 4 ]
 
 let ablation_vlog_capacity ~scale =

@@ -51,7 +51,7 @@ let run_one ~group ~compress =
     if cin = 0 then 0.0 else 1.0 -. (float_of_int cout /. float_of_int cin)
   in
   let p50_us = Dudetm_sim.Cycles.to_us (Stats.Latency.percentile r.latency 50.0) in
-  (saved, ratio, r.ktps, p50_us)
+  (saved, ratio, r, p50_us)
 
 let run ?(full = false) () =
   section "Figure 3: log combination and compression vs persist-group size\n(YCSB session store, B+-tree KV, 10K records, 50/50 read/update, Zipf 0.99)";
@@ -60,12 +60,13 @@ let run ?(full = false) () =
   List.iter
     (fun group ->
       let saved, _, _, _ = run_one ~group ~compress:false in
-      let _, ratio, ktps, p50 = run_one ~group ~compress:true in
+      let _, ratio, r, p50 = run_one ~group ~compress:true in
       (* Section 5.4: combination/compression leave throughput untouched
          (flushing is not the bottleneck), but acknowledgement latency grows
          with the group size — a transaction waits for its whole group. *)
       Printf.printf "%-14d %21.1f%% %21.1f%% %12s %11.0f us\n%!" group (100.0 *. saved)
-        (100.0 *. ratio) (pp_ktps ktps) p50)
+        (100.0 *. ratio) (pp_ktps r.ktps) p50;
+      report_commit_latency (Printf.sprintf "group %d" group) r)
     (groups ~full ())
 
 let tiny () = ignore (run_one ~group:10 ~compress:true)

@@ -21,6 +21,7 @@ let run ?(scale = 1.0) () =
   Printf.printf "%-24s" "series";
   List.iter (fun n -> Printf.printf "%10d thr" n) thread_counts;
   print_newline ();
+  let dude_r = ref None in
   List.iter
     (fun s ->
       Printf.printf "%-24s" s.sname;
@@ -38,11 +39,12 @@ let run ?(scale = 1.0) () =
           in
           let r = run_bench (s.make n) bench in
           if n = 1 then base := r.ktps;
-          Printf.printf "%10.2fx%!" (r.ktps /. !base);
-          ignore r)
+          if s.sname = "DUDETM" && n = 4 then dude_r := Some r;
+          Printf.printf "%10.2fx%!" (r.ktps /. !base))
         thread_counts;
       print_newline ())
-    series
+    series;
+  Option.iter (report_commit_latency "DUDETM, 4 threads") !dude_r
 
 let tiny () =
   ignore (run_bench (make_system ~nthreads:2 Dude) (tpcc_bench ~storage:W.Kv.Tree ~ntxs:60 ()))

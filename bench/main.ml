@@ -25,6 +25,7 @@ let experiments scale full =
     ("ycsb", fun () -> Ycsb_bench.run ~scale ());
     ("recovery", fun () -> Recovery_bench.run ~scale ());
     ("trace", fun () -> Trace_bench.run ~scale ());
+    ("shard", fun () -> Shard_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -41,6 +42,7 @@ let bechamel_tests =
     ("ycsb", Ycsb_bench.tiny);
     ("recovery", Recovery_bench.tiny);
     ("trace", Trace_bench.tiny);
+    ("shard", Shard_bench.tiny);
   ]
 
 let run_bechamel () =

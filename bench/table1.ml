@@ -5,7 +5,8 @@ open Dudetm_harness.Harness
 
 let run ?(scale = 1.0) () =
   section "Table 1: memory writes per benchmark (DUDETM, 1 GB/s, 1000 cycles, 4 threads)";
-  Printf.printf "%-18s %14s %14s %16s\n" "Benchmark" "# writes" "Throughput" "# writes per tx";
+  Printf.printf "%-18s %14s %14s %16s  %s\n" "Benchmark" "# writes" "Throughput"
+    "# writes per tx" "commit latency";
   List.iter
     (fun bench ->
       let bench = { bench with ntxs = int_of_float (float_of_int bench.ntxs *. scale) } in
@@ -13,8 +14,8 @@ let run ?(scale = 1.0) () =
       let r = run_bench ptm bench in
       let writes_per_tx = float_of_int r.writes /. float_of_int r.ntxs_run in
       let writes_per_sec = writes_per_tx *. r.ktps *. 1e3 in
-      Printf.printf "%-18s %12.2f M/s %14s %16.1f\n%!" bench.bname (writes_per_sec /. 1e6)
-        (pp_ktps r.ktps) writes_per_tx)
+      Printf.printf "%-18s %12.2f M/s %14s %16.1f  %s\n%!" bench.bname (writes_per_sec /. 1e6)
+        (pp_ktps r.ktps) writes_per_tx (pp_commit_latency r))
     (all_benches ())
 
 let tiny () =

@@ -15,15 +15,18 @@ let run ?(scale = 1.0) () =
     (fun bench ->
       let bench = { bench with ntxs = int_of_float (float_of_int bench.ntxs *. scale) } in
       Printf.printf "%-18s" bench.bname;
+      let dude_r = ref None in
       List.iter
         (fun sys ->
           if sys = Nvml && not bench.static_ok then Printf.printf "%14s%!" "-"
           else begin
             let r = run_bench (make_system sys) bench in
+            if sys = Dude then dude_r := Some r;
             Printf.printf "%14s%!" (pp_ktps r.ktps)
           end)
         systems;
-      print_newline ())
+      print_newline ();
+      Option.iter (report_commit_latency ("DUDETM " ^ bench.bname)) !dude_r)
     (all_benches ())
 
 let tiny () =

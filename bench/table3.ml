@@ -30,7 +30,8 @@ let run ?(scale = 1.0) () =
             (Printf.sprintf "%.0f us" (Cycles.to_us (Stats.Latency.percentile r.latency p))))
         results;
       print_newline ())
-    percentiles
+    percentiles;
+  List.iter (fun (s, r) -> report_commit_latency (system_name s) r) results
 
 let tiny () =
   ignore

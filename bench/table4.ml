@@ -74,7 +74,10 @@ let run ?(scale = 1.0) () =
     List.iter2
       (fun d s -> Printf.printf "%15.2fx" (d.ktps /. s.ktps))
       d_htm d_stm;
-    print_newline ()
+    print_newline ();
+    List.iter2
+      (fun b r -> report_commit_latency ("DUDETM-STM " ^ b.bname) r)
+      benches d_stm
   | _ -> assert false);
   (* Ablation: the proposed hardware change matters. *)
   Printf.printf "\nAblation: stock HTM (tx-ID counter causes conflicts) on HashTable:\n";

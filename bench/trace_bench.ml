@@ -86,6 +86,8 @@ let run ?scale:(_ = 1.0) () =
         (pct r16.run_cycles c16))
     ph1;
   Printf.printf "wall cycles: %d @1GB/s, %d @16GB/s\n" r1.run_cycles r16.run_cycles;
+  report_commit_latency "KV @1GB/s" r1;
+  report_commit_latency "KV @16GB/s" r16;
   List.iter
     (fun (name, u) -> Printf.printf "NVM utilization @1GB/s  %-12s %5.1f%%\n" name u)
     (utilization ac1 r1.run_cycles);

@@ -41,13 +41,16 @@ let run ?(scale = 1.0) () =
   List.iter
     (fun (name, mix) ->
       Printf.printf "%-16s" name;
+      let dude_r = ref None in
       List.iter
         (fun sys ->
           let ntxs = int_of_float (10_000.0 *. scale) in
           let r = run_bench (make_system sys) (bench_of mix ~ntxs) in
+          if sys = Dude then dude_r := Some r;
           Printf.printf "%14s%!" (pp_ktps r.ktps))
         systems;
-      print_newline ())
+      print_newline ();
+      Option.iter (report_commit_latency ("DUDETM " ^ name)) !dude_r)
     mixes
 
 let tiny () =

@@ -192,6 +192,18 @@ let trace_cmd =
               (100.0 *. float_of_int a.Trace.nv_cycles /. float_of_int (max 1 total_cycles)))
           accts
       end;
+      let dev_accts = Trace.nvm_dev_accts () in
+      if dev_accts <> [] then begin
+        Printf.printf "\n  NVM channel, by device:\n";
+        Printf.printf "  %-24s %12s %14s %9s %12s\n" "device" "bytes" "cycles" "ops"
+          "utilization";
+        List.iter
+          (fun a ->
+            Printf.printf "  %-24s %12d %14d %9d %11.1f%%\n" a.Trace.nd_dev a.Trace.nd_bytes
+              a.Trace.nd_cycles a.Trace.nd_ops
+              (100.0 *. float_of_int a.Trace.nd_cycles /. float_of_int (max 1 total_cycles)))
+          dev_accts
+      end;
       Printf.printf "\n  trace: %d events (%d dropped), %d phases\n" (Trace.events ())
         (Trace.dropped ())
         (List.length (Trace.phases ()));
@@ -305,7 +317,14 @@ let check_cmd =
           ~doc:"Checker workload: counter, overlap, counter1, or all.")
   in
   let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Worker threads.") in
-  let txs = Arg.(value & opt int 2 & info [ "txs" ] ~doc:"Transactions per thread.") in
+  let txs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "txs" ]
+          ~doc:
+            "Transactions per thread (default 2); with --shards, cross-shard \
+             transfers driven (default 10).")
+  in
   let deep =
     Arg.(value & flag & info [ "deep" ] ~doc:"Use the deep exploration budget.")
   in
@@ -334,6 +353,7 @@ let check_cmd =
         ("unfenced-reproduce", Config.Unfenced_reproduce);
         ("skip-crc-verify", Config.Skip_crc_verify);
         ("skip-recovery-journal", Config.Skip_recovery_journal);
+        ("skip-fragment-gate", Config.Skip_fragment_gate);
       ]
     in
     Arg.(
@@ -342,8 +362,26 @@ let check_cmd =
       & info [ "mutate" ] ~docv:"FAULT"
           ~doc:
             "Seed a deliberate bug into DudeTM (checker self-validation): none, \
-             early-durable, unfenced-reproduce, skip-crc-verify, or \
-             skip-recovery-journal.")
+             early-durable, unfenced-reproduce, skip-crc-verify, \
+             skip-recovery-journal, or skip-fragment-gate (Reproduce replays \
+             cross-shard fragments without waiting for sibling durability; \
+             caught by --shards).")
+  in
+  let shards =
+    Arg.(
+      value & flag
+      & info [ "shards" ]
+          ~doc:
+            "Run the sharded cross-commit campaign instead: drive cross-shard \
+             transfers over a multi-region instance, cut power at sampled persist \
+             boundaries of every shard's device, re-attach, and require every \
+             transfer to be all-or-nothing and every vector-watermark \
+             acknowledgement to survive.")
+  in
+  let shard_count =
+    Arg.(
+      value & opt int Dudetm_check.Check.default_shard_count
+      & info [ "shard-count" ] ~doc:"With --shards: independent regions to create.")
   in
   let media =
     Arg.(
@@ -459,11 +497,29 @@ let check_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at media media_faults media_seed media_seeds evict_frac evict_seed recovery
-      leg crash2 crash3 rec_seeds daemons daemon_seed fault_rate verbose =
+      crash_at shards shard_count media media_faults media_seed media_seeds evict_frac
+      evict_seed recovery leg crash2 crash3 rec_seeds daemons daemon_seed fault_rate
+      verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
-    if recovery then begin
+    let txs_or d = Option.value txs ~default:d in
+    if shards then begin
+      match
+        Check.check_shards ~fault ~nshards:shard_count
+          ~txs:(txs_or Check.default_shard_txs) ~log ?only_crash:(opt crash_at) ()
+      with
+      | Check.Shard_pass { runs; boundaries } ->
+        Printf.printf "shard campaign: PASS (%d runs, %d persist boundaries cut)\n" runs
+          boundaries;
+        `Ok ()
+      | Check.Shard_fail shf ->
+        Printf.printf "shard campaign: FAIL: %s\n  replay: %s\n" shf.Check.shf_reason
+          (Check.shard_replay_line shf);
+        `Error (false, "sharded cross-commit check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if recovery then begin
       match
         let budget =
           let b =
@@ -535,6 +591,7 @@ let check_cmd =
           else [ Check.sut_of_name ~fault system ]
         in
         let check_one sut =
+          let txs = txs_or 2 in
           let wls =
             if workload = "all" then Check.workloads_for sut ~threads ~txs
             else [ Check.workload_of_name ~threads ~txs workload ]
@@ -600,13 +657,97 @@ let check_cmd =
           lines injected post-crash must always be repaired or reported.  With \
           --recovery, a nested-crash campaign: power cuts inside attach and scrub (two \
           deep) must converge to the uninterrupted recovery.  With --daemons, a \
-          fault-injection sweep over supervised pipeline daemons.")
+          fault-injection sweep over supervised pipeline daemons.  With --shards, a \
+          sharded cross-commit campaign: power cuts during cross-shard transfers must \
+          leave every transfer all-or-nothing under the recovery vote.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
-       $ sched_seeds $ mutate $ sched $ crash_at $ media $ media_faults $ media_seed
-       $ media_seeds $ evict $ evict_seed $ recovery $ leg $ crash2 $ crash3
-       $ rec_seeds $ daemons $ daemon_seed $ fault_rate $ verbose))
+       $ sched_seeds $ mutate $ sched $ crash_at $ shards $ shard_count $ media
+       $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
+       $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
+       $ verbose))
+
+(* ------------------------------- shard -------------------------------- *)
+
+let shard_cmd =
+  let module SB = Dudetm_shard.Shard_bench in
+  let nshards =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "shards" ] ~docv:"N" ~doc:"Independent persistent regions.")
+  in
+  let cross =
+    Arg.(
+      value & opt int 10
+      & info [ "cross" ] ~docv:"PCT"
+          ~doc:"Percentage of transactions that transfer across two shards.")
+  in
+  let ntxs = Arg.(value & opt int 2000 & info [ "txs" ] ~doc:"Transactions to run.") in
+  let workers = Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Worker threads.") in
+  let bandwidth =
+    Arg.(
+      value & opt float 0.25
+      & info [ "bandwidth" ] ~doc:"Per-shard NVM write bandwidth, GB/s.")
+  in
+  let latency =
+    Arg.(value & opt int 500 & info [ "latency" ] ~doc:"Persist latency, cycles.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload RNG seed.") in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Trace the run and print per-shard device utilization afterwards.")
+  in
+  let run nshards cross ntxs workers bandwidth latency seed trace =
+    if nshards < 1 || nshards > 60 then `Error (false, "--shards must be in [1, 60]")
+    else if cross < 0 || cross > 100 then `Error (false, "--cross must be in [0, 100]")
+    else begin
+      if trace then Trace.enable ~capacity:65536 ();
+      let r =
+        SB.run ~seed ~bandwidth ~persist_latency:latency ~ntxs ~workers ~nshards
+          ~cross_pct:cross ()
+      in
+      let dev_accts = if trace then Trace.nvm_dev_accts () else [] in
+      if trace then Trace.disable ();
+      Printf.printf
+        "sharded DUDETM: %d shards, %d transactions, %d workers, %.2f GB/s per shard\n"
+        r.SB.sb_nshards r.SB.sb_ntxs workers bandwidth;
+      Printf.printf "  cross-shard:      %d of %d transactions (%d%% requested)\n"
+        r.SB.sb_cross_txs r.SB.sb_ntxs r.SB.sb_cross_pct;
+      Printf.printf "  durable throughput: %s (first commit through drain)\n"
+        (H.pp_ktps r.SB.sb_ktps);
+      Printf.printf "  cycles:           %d\n" r.SB.sb_cycles;
+      Printf.printf "  commit latency:   %s\n" (SB.pp_commit_latency r);
+      if dev_accts <> [] then begin
+        let total_bytes =
+          List.fold_left (fun acc a -> acc + a.Trace.nd_bytes) 0 dev_accts
+        in
+        Printf.printf "  NVM channel, by shard device:\n";
+        Printf.printf "  %-12s %12s %14s %9s %12s\n" "device" "bytes" "cycles" "ops"
+          "traffic share";
+        List.iter
+          (fun a ->
+            Printf.printf "  %-12s %12d %14d %9d %11.1f%%\n" a.Trace.nd_dev
+              a.Trace.nd_bytes a.Trace.nd_cycles a.Trace.nd_ops
+              (100.0 *. float_of_int a.Trace.nd_bytes /. float_of_int (max 1 total_bytes)))
+          dev_accts
+      end;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the partitioned workload on a sharded DUDETM instance (one persist and \
+          one reproduce pipeline per region) and report end-to-end durable throughput, \
+          the cross-shard mix, and commit-latency percentiles; with --trace, also the \
+          per-shard NVM device utilization.")
+    Term.(
+      ret
+        (const run $ nshards $ cross $ ntxs $ workers $ bandwidth $ latency $ seed
+       $ trace))
 
 (* ------------------------------- scrub -------------------------------- *)
 
@@ -746,4 +887,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dudetm" ~doc)
-          [ run_cmd; trace_cmd; torture_cmd; check_cmd; scrub_cmd; layout_cmd ]))
+          [ run_cmd; trace_cmd; torture_cmd; check_cmd; shard_cmd; scrub_cmd; layout_cmd ]))

@@ -55,6 +55,7 @@ let fault_suffix = function
   | Config.Unfenced_reproduce -> "+unfenced-reproduce"
   | Config.Skip_crc_verify -> "+skip-crc-verify"
   | Config.Skip_recovery_journal -> "+skip-recovery-journal"
+  | Config.Skip_fragment_gate -> "+skip-fragment-gate"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -1293,3 +1294,227 @@ let check_daemons ?(seeds = 4) ?(rate = default_daemon_rate) ?(log = fun _ -> ()
   match !result with
   | None -> Daemon_pass { runs = !runs; faults = !faults; restarts = !restarts }
   | Some df -> Daemon_fail df
+
+(* ------------------------------------------------------------------ *)
+(* Sharded cross-commit campaign                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Dudetm_shard.Shard.Make (Dudetm_tm.Tinystm)
+
+type shard_failure = {
+  shf_fault : Config.fault;
+  shf_nshards : int;
+  shf_txs : int;
+  shf_crash : int option;
+  shf_reason : string;
+}
+
+type shard_report = Shard_pass of { runs : int; boundaries : int } | Shard_fail of shard_failure
+
+let shard_replay_line shf =
+  Printf.sprintf "dudetm check --shards%s --shard-count %d --txs %d%s"
+    (match shf.shf_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    shf.shf_nshards shf.shf_txs
+    (match shf.shf_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+let default_shard_count = 3
+
+let default_shard_txs = 10
+
+let shard_sites_budget () =
+  let base = 60 in
+  if Sys.getenv_opt "DUDETM_CHECK_DEEP" = Some "1" then base * 10
+  else
+    match Option.bind (Sys.getenv_opt "DUDETM_CHECK_BUDGET") int_of_string_opt with
+    | Some m when m > 1 -> base * m
+    | _ -> base
+
+(* Word layout inside every shard's root block (mirrors test_shard.ml):
+   0       balance — cross-shard transfers preserve the global sum
+   8       single-shard local counter
+   16+8*p  pairwise stamp: both sides of a transfer write the same stamp *)
+let shb_balance = 0
+
+let shb_local = 8
+
+let shb_pair p = 16 + (8 * p)
+
+let shb_initial = 1_000L
+
+(* The all-or-nothing + watermark oracle over a drained or recovered
+   instance.  Both sides of every transfer wrote the same pairwise stamp,
+   so the sides must agree; every transfer preserved the sum over shards
+   whose seeding transaction (tid 1) is durable; and nothing the effective
+   watermark acknowledged before the cut may be missing afterwards. *)
+let shard_oracle ~nshards ~acked_frontier ~acked_eff sh =
+  let peek s off = Shard.Engine.heap_read_u64 (Shard.engine sh s) off in
+  let bad = ref None in
+  for a = 0 to nshards - 1 do
+    for b = a + 1 to nshards - 1 do
+      let sa = peek a (shb_pair b) and sb = peek b (shb_pair a) in
+      if sa <> sb && !bad = None then
+        bad :=
+          Some
+            (Printf.sprintf "partial cross-shard tx: pair stamp %d<->%d is %Ld vs %Ld" a b sa
+               sb)
+    done
+  done;
+  let sum = ref 0L and seeded = ref 0 in
+  for s = 0 to nshards - 1 do
+    sum := Int64.add !sum (peek s shb_balance);
+    if Shard.Engine.durable_id (Shard.engine sh s) >= 1 then incr seeded
+  done;
+  let want = Int64.mul shb_initial (Int64.of_int !seeded) in
+  if !sum <> want && !bad = None then
+    bad :=
+      Some
+        (Printf.sprintf "balance sum %Ld, model says %Ld for %d durable seeds" !sum want
+           !seeded);
+  if Shard.global_frontier sh < acked_frontier && !bad = None then
+    bad :=
+      Some
+        (Printf.sprintf "acked cross tx lost: recovered frontier %d < acknowledged %d"
+           (Shard.global_frontier sh) acked_frontier);
+  for s = 0 to nshards - 1 do
+    let d = Shard.Engine.durable_id (Shard.engine sh s) in
+    if d < acked_eff.(s) && !bad = None then
+      bad :=
+        Some
+          (Printf.sprintf "acked tx lost on shard %d: durable %d < acknowledged %d" s d
+             acked_eff.(s))
+  done;
+  !bad
+
+(* One run: sequential mixed transfers + local bumps, power cut at persist
+   boundary [crash] counted across every shard's device ([None]: clean
+   stop).  The vector watermark is sampled at each boundary — exactly what
+   had been acknowledged when the power went out.  Returns the oracle
+   verdict and the boundary count. *)
+let shard_run ~fault ~nshards ~txs ~crash =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let sh = Shard.create ~nshards cfg in
+  let sites = ref 0 in
+  let acked_frontier = ref 0 in
+  let acked_eff = Array.make nshards 0 in
+  let hook () =
+    incr sites;
+    let f = Shard.global_frontier sh in
+    if f > !acked_frontier then acked_frontier := f;
+    Array.iteri (fun s e -> if e > acked_eff.(s) then acked_eff.(s) <- e)
+      (Shard.effective_vector sh);
+    match crash with Some k when !sites = k -> raise Crash_now | _ -> ()
+  in
+  let disarm () =
+    for s = 0 to nshards - 1 do
+      Nvm.set_persist_hook (Shard.nvm sh s) None
+    done
+  in
+  let crashed = ref false in
+  let err = ref None in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            Shard.start sh;
+            for s = 0 to nshards - 1 do
+              ignore
+                (Shard.atomically sh ~thread:0 ~shards:[ s ] (fun tx ->
+                     Shard.write tx ~shard:s shb_balance shb_initial))
+            done;
+            for s = 0 to nshards - 1 do
+              Nvm.set_persist_hook (Shard.nvm sh s) (Some hook)
+            done;
+            for k = 1 to txs do
+              let a = k mod nshards and b = (k + 1) mod nshards in
+              (* Bloat [b]'s next flush record first.  Persist drains a
+                 thread's whole backlog into one record and publishes its
+                 durable IDs at a single fence, so queue depth alone creates
+                 no skew — record size does: [b]'s fence lands well after
+                 [a]'s tiny fragment record is durable (and applicable),
+                 opening the window the replay gate must cover. *)
+              ignore
+                (Shard.atomically sh ~thread:(k mod 3) ~shards:[ b ] (fun tx ->
+                     for i = 0 to 63 do
+                       Shard.write tx ~shard:b (1024 + (8 * i)) (Int64.of_int (k + i))
+                     done;
+                     Shard.write tx ~shard:b shb_local
+                       (Int64.add (Shard.read tx ~shard:b shb_local) 1L)));
+              ignore
+                (Shard.atomically sh ~thread:(k mod 3) ~shards:[ a; b ] (fun tx ->
+                     let ba = Shard.read tx ~shard:a shb_balance in
+                     let bb = Shard.read tx ~shard:b shb_balance in
+                     Shard.write tx ~shard:a shb_balance (Int64.sub ba 5L);
+                     Shard.write tx ~shard:b shb_balance (Int64.add bb 5L);
+                     Shard.write tx ~shard:a (shb_pair b) (Int64.of_int k);
+                     Shard.write tx ~shard:b (shb_pair a) (Int64.of_int k)))
+            done;
+            disarm ();
+            Shard.stop sh))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> err := Some ("deadlock: " ^ msg)
+  | e -> err := Some ("engine raised " ^ Printexc.to_string e));
+  disarm ();
+  let verdict =
+    match !err with
+    | Some _ -> !err
+    | None ->
+      if not !crashed then shard_oracle ~nshards ~acked_frontier:!acked_frontier ~acked_eff sh
+      else begin
+        for s = 0 to nshards - 1 do
+          Nvm.crash (Shard.nvm sh s)
+        done;
+        match Shard.attach ~nshards (Shard.config sh) (Array.init nshards (Shard.nvm sh)) with
+        | sh2, _report ->
+          shard_oracle ~nshards ~acked_frontier:!acked_frontier ~acked_eff sh2
+        | exception e -> Some ("recovery raised " ^ Printexc.to_string e)
+      end
+  in
+  (verdict, !sites)
+
+let check_shards ?(fault = Config.No_fault) ?(nshards = default_shard_count)
+    ?(txs = default_shard_txs) ?(log = fun _ -> ()) ?only_crash () =
+  if nshards < 2 then invalid_arg "Check.check_shards: need at least two shards";
+  let fail ~crash reason =
+    Shard_fail
+      { shf_fault = fault; shf_nshards = nshards; shf_txs = txs; shf_crash = crash;
+        shf_reason = reason }
+  in
+  match only_crash with
+  | Some k -> (
+    match shard_run ~fault ~nshards ~txs ~crash:(Some k) with
+    | Some reason, _ -> fail ~crash:(Some k) reason
+    | None, sites -> Shard_pass { runs = 1; boundaries = sites })
+  | None -> (
+    log (Printf.sprintf "shards: %d shards, %d cross txs, clean run" nshards txs);
+    match shard_run ~fault ~nshards ~txs ~crash:None with
+    | Some reason, _ -> fail ~crash:None reason
+    | None, total ->
+      let budget = shard_sites_budget () in
+      (* Enumerate every boundary when the budget covers them; otherwise an
+         evenly-spread sample (ascending, so the first hit is the earliest
+         failing boundary in the sampled set). *)
+      let picks =
+        if total <= budget then List.init total (fun i -> i + 1)
+        else List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+      in
+      log
+        (Printf.sprintf "shards: %d persist boundaries, cutting power at %d of them" total
+           (List.length picks));
+      let runs = ref 1 in
+      let result = ref None in
+      List.iter
+        (fun k ->
+          if !result = None then begin
+            incr runs;
+            match shard_run ~fault ~nshards ~txs ~crash:(Some k) with
+            | Some reason, _ -> result := Some (fail ~crash:(Some k) reason)
+            | None, _ -> ()
+          end)
+        picks;
+      match !result with
+      | Some f -> f
+      | None -> Shard_pass { runs = !runs; boundaries = total })

@@ -366,3 +366,57 @@ val check_daemons :
 (** For each seed: a quiescent run and a mid-run power cut, both with
     faults injected at [rate].  [only_seed] (with optional [crash])
     replays a single case. *)
+
+(** {1 Sharded cross-commit campaign}
+
+    Cross-shard transactions must be all-or-nothing across {e independent}
+    persistent devices: the campaign drives mixed cross-shard transfers and
+    single-shard transactions over a small {!Dudetm_shard.Shard} instance,
+    cuts power at every persist boundary of every shard's device (budget
+    permitting), re-attaches, and checks that
+
+    - no partial cross-shard transaction survives recovery — both sides of
+      every transfer wrote the same pairwise stamp, so the sides must
+      agree, and the balance sum over durably-seeded shards is preserved;
+    - nothing acknowledged by the effective vector watermark before the
+      cut is missing afterwards (per-shard durable IDs and the global
+      cross-shard frontier).
+
+    The campaign validates itself against the seeded
+    {!Dudetm_core.Config.Skip_fragment_gate} mutant, whose Reproduce
+    daemons replay cross-shard fragments without waiting for the sibling
+    fragments to be durable. *)
+
+type shard_failure = {
+  shf_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  shf_nshards : int;
+  shf_txs : int;  (** cross-shard transfers driven *)
+  shf_crash : int option;
+      (** failing persist boundary; [None]: the clean quiescent run *)
+  shf_reason : string;
+}
+
+type shard_report =
+  | Shard_pass of { runs : int; boundaries : int }
+  | Shard_fail of shard_failure
+
+val shard_replay_line : shard_failure -> string
+(** The replayable [dudetm check --shards ...] one-liner. *)
+
+val default_shard_count : int
+
+val default_shard_txs : int
+
+val check_shards :
+  ?fault:Dudetm_core.Config.fault ->
+  ?nshards:int ->
+  ?txs:int ->
+  ?log:(string -> unit) ->
+  ?only_crash:int ->
+  unit ->
+  shard_report
+(** Run the campaign: one clean run to quiescence counts the persist
+    boundaries, then power cuts at each of them (all when the budget —
+    scaled by [DUDETM_CHECK_BUDGET] / [DUDETM_CHECK_DEEP] — covers the
+    count, an evenly-spread ascending sample otherwise).  [only_crash]
+    replays exactly one boundary instead. *)

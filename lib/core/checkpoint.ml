@@ -3,6 +3,7 @@ module Checksum = Dudetm_log.Checksum
 
 type state = {
   reproduced_upto : int;
+  cross_frontier : int;
   free_extents : (int * int) list;
 }
 
@@ -14,10 +15,10 @@ type t = {
   mutable next_slot : int;  (* 0 or 1 *)
 }
 
-(* Slot layout: seq u64, reproduced_upto u64, n_extents u64,
-   n_extents * (off u64, len u64), crc u64.  CRC covers everything before
-   it. *)
-let slot_overhead = 32
+(* Slot layout: seq u64, reproduced_upto u64, cross_frontier u64,
+   n_extents u64, n_extents * (off u64, len u64), crc u64.  CRC covers
+   everything before it. *)
+let slot_overhead = 40
 
 let max_extents_of_slot slot_size = (slot_size - slot_overhead) / 16
 
@@ -29,21 +30,23 @@ let encode state ~seq ~slot_size =
   let b = Bytes.make (slot_overhead + (16 * n)) '\000' in
   Bytes.set_int64_le b 0 (Int64.of_int seq);
   Bytes.set_int64_le b 8 (Int64.of_int state.reproduced_upto);
-  Bytes.set_int64_le b 16 (Int64.of_int n);
+  Bytes.set_int64_le b 16 (Int64.of_int state.cross_frontier);
+  Bytes.set_int64_le b 24 (Int64.of_int n);
   List.iteri
     (fun i (off, len) ->
-      Bytes.set_int64_le b (24 + (16 * i)) (Int64.of_int off);
-      Bytes.set_int64_le b (32 + (16 * i)) (Int64.of_int len))
+      Bytes.set_int64_le b (32 + (16 * i)) (Int64.of_int off);
+      Bytes.set_int64_le b (40 + (16 * i)) (Int64.of_int len))
     exts;
   let crc = Checksum.crc32 b 0 (Bytes.length b - 8) in
   Bytes.set_int64_le b (Bytes.length b - 8) (Int64.of_int32 crc);
   b
 
 let decode_raw nvm ~slot_base ~slot_size =
-  let head = Nvm.load_bytes nvm slot_base 24 in
+  let head = Nvm.load_bytes nvm slot_base 32 in
   let seq = Int64.to_int (Bytes.get_int64_le head 0) in
   let upto = Int64.to_int (Bytes.get_int64_le head 8) in
-  let n = Int64.to_int (Bytes.get_int64_le head 16) in
+  let frontier = Int64.to_int (Bytes.get_int64_le head 16) in
+  let n = Int64.to_int (Bytes.get_int64_le head 24) in
   if n < 0 || slot_overhead + (16 * n) > slot_size then None
   else begin
     let total = slot_overhead + (16 * n) in
@@ -54,11 +57,11 @@ let decode_raw nvm ~slot_base ~slot_size =
       let exts = ref [] in
       for i = n - 1 downto 0 do
         exts :=
-          ( Int64.to_int (Bytes.get_int64_le b (24 + (16 * i))),
-            Int64.to_int (Bytes.get_int64_le b (32 + (16 * i))) )
+          ( Int64.to_int (Bytes.get_int64_le b (32 + (16 * i))),
+            Int64.to_int (Bytes.get_int64_le b (40 + (16 * i))) )
           :: !exts
       done;
-      Some (seq, { reproduced_upto = upto; free_extents = !exts })
+      Some (seq, { reproduced_upto = upto; cross_frontier = frontier; free_extents = !exts })
     end
   end
 

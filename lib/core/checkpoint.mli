@@ -8,6 +8,11 @@
 
 type state = {
   reproduced_upto : int;
+  cross_frontier : int;
+      (** Highest cross-shard global transaction ID whose fragment this
+          region has replayed (0 when the region never held one).  Lets a
+          sibling shard's recovery distinguish "fragment replayed and
+          recycled" from "fragment never became durable". *)
   free_extents : (int * int) list;
 }
 

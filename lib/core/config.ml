@@ -6,6 +6,7 @@ type fault =
   | Unfenced_reproduce
   | Skip_crc_verify
   | Skip_recovery_journal
+  | Skip_fragment_gate
 
 exception Invalid_config of string
 

@@ -49,6 +49,12 @@ type fault =
           of recovery can leave a probe pattern in live data or a diverging
           recovery report.  Validates the nested-crash campaign
           ([dudetm check --recovery]). *)
+  | Skip_fragment_gate
+      (** Reproduce ignores the cross-shard replay gate and applies a
+          cross-shard fragment before its sibling fragments are durable on
+          their shards: a crash in the window can leave a partial
+          cross-shard transaction surviving recovery.  Validates the
+          sharded crash campaign ([dudetm check --shards]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)

@@ -76,6 +76,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     staging : (int, Log_entry.t list) Hashtbl.t;  (* combined persist: tid -> body *)
     mutable next_flush : int;  (* combined persist: next group's first tid *)
     repro_ranges : (int * int) list ref;  (* applied but not yet persisted *)
+    (* Cross-shard replay gate, installed by the sharding layer: Reproduce
+       may apply transaction [tid] only once the gate admits it (all
+       sibling fragments of every cross-shard transaction at or below it
+       are durable on their own shards).  [None]: single-region instance,
+       no gating. *)
+    mutable cross_gate : (int -> bool) option;
+    mutable cross_frontier : int;  (* max replayed cross-shard gtid *)
     fault_rng : Rng.t;  (* injected transient daemon failures *)
     mutable read_only : string option;  (* degraded mode: Some reason *)
     mutable stop_flag : bool;
@@ -94,6 +101,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     mutable wrote_list : int list;
     mutable allocs : (int * int) list;  (* this attempt's pmallocs *)
     mutable frees : (int * int) list;  (* deferred pfrees *)
+    mutable cross_seal : (int * int) option;  (* (gtid, mask) to seal at commit *)
   }
 
   let applied t = !(t.applied_cell)
@@ -147,6 +155,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       staging = Hashtbl.create 1024;
       next_flush = tid_base + 1;
       repro_ranges = ref [];
+      cross_gate = None;
+      cross_frontier = 0;
       fault_rng = Rng.create ((cfg.Config.seed * 31) + 0x5eed);
       read_only = None;
       stop_flag = false;
@@ -155,9 +165,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       stats = Stats.create ();
     }
 
-  let create cfg =
+  let create ?(nvm_label = "nvm") cfg =
     Config.validate cfg;
-    let nvm = Nvm.create cfg.Config.pmem ~size:(Config.nvm_size cfg) in
+    let nvm = Nvm.create ~label:nvm_label cfg.Config.pmem ~size:(Config.nvm_size cfg) in
     let regions = Config.plog_regions cfg in
     let plogs =
       Array.init regions (fun i ->
@@ -169,7 +179,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let repro_alloc = Alloc.copy allocator in
     let ckpt =
       Checkpoint.format nvm ~base:(Config.meta_base cfg) ~size:cfg.Config.meta_size
-        { Checkpoint.reproduced_upto = 0; free_extents = Alloc.extents allocator }
+        { Checkpoint.reproduced_upto = 0; cross_frontier = 0;
+          free_extents = Alloc.extents allocator }
     in
     let crcdir = Crcdir.format nvm cfg in
     let badlines = Badline.format nvm cfg in
@@ -259,6 +270,47 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let wait_durable t tid =
     Sched.wait_until ~label:"durable id" (fun () -> t.durable >= tid)
 
+  let set_cross_gate t gate = t.cross_gate <- gate
+
+  let cross_frontier t = t.cross_frontier
+
+  (* The next queued replay item, if its turn has come (pure: no pop). *)
+  let peek_next_item t =
+    let target = applied t + 1 in
+    let found = ref None in
+    Array.iter
+      (fun q ->
+        match Queue.peek_opt q with
+        | Some it when it.lo = target -> found := Some it
+        | _ -> ())
+      t.queues;
+    !found
+
+  (* Highest cross-shard global ID sealed into an item's entries (0 when
+     the item carries no fragment).  Gating on the max is enough: fragment
+     admissibility is monotone in the global ID. *)
+  let item_gate_gtid it =
+    List.fold_left
+      (fun acc e -> match e with Log_entry.Cross { gtid; _ } -> max acc gtid | _ -> acc)
+      0 it.entries
+
+  (* May Reproduce apply the next transaction?  The gate predicate is pure
+     (it only reads sibling shards' durable counters), so it is safe inside
+     [Sched.wait_until] conditions.  The gate keys on the global ID read
+     from the pending item's own [Cross] seal — the log record is the
+     source of truth, so a fragment can never slip past the gate before the
+     sharding layer has registered its sibling set. *)
+  let can_apply t =
+    t.durable > applied t
+    && (match t.cross_gate with
+       | Some gate when t.cfg.Config.fault <> Config.Skip_fragment_gate -> (
+         match peek_next_item t with
+         | Some it ->
+           let g = item_gate_gtid it in
+           g = 0 || gate g
+         | None -> true)
+       | _ -> true)
+
   (* ------------------------------------------------------------------ *)
   (* Persist step                                                        *)
   (* ------------------------------------------------------------------ *)
@@ -328,7 +380,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
                  cut := !pos;
                  first_tx_done := true
                end
-             | Log_entry.Write _ | Log_entry.Alloc _ | Log_entry.Free _ -> ())
+             | Log_entry.Write _ | Log_entry.Alloc _ | Log_entry.Free _
+             | Log_entry.Cross _ -> ())
            done
          with Exit -> ());
         !cut
@@ -555,6 +608,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Checkpoint.write t.ckpt
       {
         Checkpoint.reproduced_upto = t.persisted_data;
+        cross_frontier = t.cross_frontier;
         free_extents = Alloc.extents t.repro_alloc;
       };
     (* Recycle each ring up to its furthest completed record. *)
@@ -607,6 +661,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           Hashtbl.replace t.dirty_extents ((addr + 7) / t.cfg.Config.crc_extent) ()
         | Log_entry.Alloc { off; len } -> Alloc.reserve t.repro_alloc ~off ~len
         | Log_entry.Free { off; len } -> Alloc.free t.repro_alloc ~off ~len
+        | Log_entry.Cross { gtid; _ } ->
+          if gtid > t.cross_frontier then t.cross_frontier <- gtid
         | Log_entry.Tx_end _ -> ())
       it.entries;
     set_applied t it.hi;
@@ -617,7 +673,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Trace.span ~cat:"reproduce" "replay" @@ fun () ->
     let applied_any = ref false in
     let batch = ref 0 in
-    while t.durable > applied t && !batch < t.cfg.Config.reproduce_batch do
+    while can_apply t && !batch < t.cfg.Config.reproduce_batch do
       maybe_fault t "reproduce";
       apply_item t (pop_next_item t) t.repro_ranges;
       applied_any := true;
@@ -630,7 +686,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let reproduce_loop t =
     let rec loop () =
       maybe_fault t "reproduce";
-      if t.durable > applied t then begin
+      if can_apply t then begin
         ignore (reproduce_round t);
         if
           List.length t.pending_recycle >= t.cfg.Config.checkpoint_records
@@ -638,15 +694,18 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         then do_checkpoint t;
         loop ()
       end
-      else if t.stop_flag && t.durable = applied t then begin
+      else if t.stop_flag && not (can_apply t) then begin
+        (* Quiesced — or stopped while a cross-shard fragment is still
+           gated on a sibling shard; either way checkpoint what is applied
+           and exit (the gated suffix replays at the next attach). *)
         if t.pending_recycle <> [] || t.checkpointed < t.persisted_data then do_checkpoint t
       end
       else begin
         Sched.wait_until ~label:"reproduce: waiting for durable" (fun () ->
             t.stop_flag
-            || t.durable > applied t
+            || can_apply t
             || (t.pending_recycle <> [] && plog_pressure t));
-        if t.durable = applied t && t.pending_recycle <> [] && plog_pressure t then
+        if (not (can_apply t)) && t.pending_recycle <> [] && plog_pressure t then
           do_checkpoint t;
         Sched.yield ();
         loop ()
@@ -706,6 +765,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       (Stats.get t.stats "bp_throttle_cycles")
       (Stats.get t.stats "pmalloc_waits")
       (match t.read_only with None -> "no" | Some r -> Printf.sprintf "%S" r)
+
+  (* Mark the instance as draining without waiting.  The sharding layer
+     sets this on every region before blocking in [drain]: a combined-mode
+     persist daemon only flushes a partial trailing group once draining is
+     set, and a cross-shard replay gate on one region can require exactly
+     that trailing flush on a sibling. *)
+  let begin_drain t = t.draining <- true
 
   let drain t =
     t.draining <- true;
@@ -775,6 +841,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Tm.write dtx.tm_tx addr value
 
   let abort dtx = Tm.user_abort dtx.tm_tx
+
+  (* Request a cross-shard fragment seal: if this transaction commits with
+     writes, a [Cross { gtid; mask; tid }] entry is logged just before its
+     end mark.  Called by the sharding layer once the body has finished and
+     the set of shards actually written is known. *)
+  let seal_cross dtx ~gtid ~mask = dtx.cross_seal <- Some (gtid, mask)
 
   (* Allocation backpressure: concurrent transactions return space at
      commit ([pfree]) and abort (refunds), so a full heap is often
@@ -894,6 +966,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
               wrote_list = [];
               allocs = [];
               frees = [];
+              cross_seal = None;
             }
           in
           attempt := Some dtx;
@@ -913,6 +986,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       else begin
         let tid = t.tid_base + raw_tid in
         List.iter (fun (off, len) -> Alloc.free t.allocator ~off ~len) dtx.frees;
+        (* The fragment seal rides in the redo log just before the end
+           mark, so it is CRC-sealed with the fragment's writes and recovery
+           sees (gtid, mask, tid) in the same durable record. *)
+        (match dtx.cross_seal with
+        | Some (gtid, mask) -> Vlog.append vlog (Log_entry.Cross { gtid; mask; tid })
+        | None -> ());
         Vlog.append_end vlog ~tid;
         (match t.view with
         | Flat _ -> ()
@@ -950,8 +1029,38 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   (* Recovery                                                            *)
   (* ------------------------------------------------------------------ *)
 
-  let attach cfg nvm =
-    Trace.span ~cat:"recovery" "attach" @@ fun () ->
+  (* Recovery state between the non-destructive scan ([attach_prepare]) and
+     the destructive replay ([attach_commit]).  The sharding layer prepares
+     every region first, runs the cross-shard vote over the scanned
+     fragments and checkpointed frontiers, and only then commits each
+     region with its voted durable cut. *)
+  type prepared = {
+    p_cfg : Config.t;
+    p_nvm : Nvm.t;
+    p_rjournal : Rjournal.t;
+    p_use_journal : bool;
+    p_ckpt : Checkpoint.t;
+    p_ckpt_upto : int;  (* checkpointed reproduced_upto *)
+    p_frontier : int;  (* checkpointed cross-shard frontier *)
+    p_repro_alloc : Alloc.t;
+    p_plogs : Plog.t array;
+    p_corrupted : int;
+    p_quarantined : int;
+    p_items : (int * int * Log_entry.t list) list;  (* (lo, hi, entries), sorted *)
+    p_all_tids : (int, unit) Hashtbl.t;
+    p_durable : int;  (* candidate durable ID, before any cross-shard vote *)
+    p_fragments : (int * int * int) list;  (* scanned (gtid, mask, tid) seals *)
+  }
+
+  let prepared_durable p = p.p_durable
+
+  let prepared_frontier p = p.p_frontier
+
+  let prepared_fragments p = p.p_fragments
+
+  let prepared_checkpoint_upto p = p.p_ckpt_upto
+
+  let attach_prepare cfg nvm =
     Config.validate cfg;
     if Nvm.size nvm <> Config.nvm_size cfg then
       invalid_arg "Dudetm.attach: device size does not match the configuration";
@@ -988,6 +1097,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     (* Collect replay items from every surviving record. *)
     let all_items = ref [] in
     let all_tids = Hashtbl.create 1024 in
+    let fragments = ref [] in
     Array.iter
       (fun (_, scan) ->
         List.iter
@@ -995,6 +1105,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           let entries = Log_entry.decode_payload record.Plog.payload in
           let tids = Log_entry.tids entries in
           List.iter (fun tid -> Hashtbl.replace all_tids tid ()) tids;
+          fragments := List.rev_append (Log_entry.cross_seals entries) !fragments;
           if cfg.Config.combine then begin
             match tids with
             | [] -> ()
@@ -1013,12 +1124,47 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     while Hashtbl.mem all_tids (!d + 1) do
       incr d
     done;
-    let d = !d in
+    {
+      p_cfg = cfg;
+      p_nvm = nvm;
+      p_rjournal = rjournal;
+      p_use_journal = use_journal;
+      p_ckpt = ckpt;
+      p_ckpt_upto = c;
+      p_frontier = state.Checkpoint.cross_frontier;
+      p_repro_alloc = repro_alloc;
+      p_plogs = plogs;
+      p_corrupted = corrupted_records;
+      p_quarantined = quarantined_lines;
+      p_items = List.sort compare !all_items;
+      p_all_tids = all_tids;
+      p_durable = !d;
+      p_fragments = List.sort compare !fragments;
+    }
+
+  let attach_commit ?durable_cut p =
+    Trace.span ~cat:"recovery" "attach" @@ fun () ->
+    let cfg = p.p_cfg in
+    let nvm = p.p_nvm in
+    let c = p.p_ckpt_upto in
+    let repro_alloc = p.p_repro_alloc in
+    (* The cross-shard vote can only shrink the durable prefix (discarding
+       fragments of incomplete cross-shard transaction sets, and with them
+       the suffix behind the cut), never extend it and never cut below the
+       checkpoint. *)
+    let d =
+      match durable_cut with
+      | None -> p.p_durable
+      | Some cut ->
+        if cut > p.p_durable then
+          invalid_arg "Dudetm.attach_commit: durable cut beyond the scanned prefix";
+        max c cut
+    in
     let keep, dropped =
-      List.partition (fun (lo, hi, _) -> lo > c && hi <= d) (List.sort compare !all_items)
+      List.partition (fun (lo, hi, _) -> lo > c && hi <= d) p.p_items
     in
     let discarded_txs =
-      Hashtbl.fold (fun tid () acc -> if tid > d then acc + 1 else acc) all_tids 0
+      Hashtbl.fold (fun tid () acc -> if tid > d then acc + 1 else acc) p.p_all_tids 0
     in
     let discarded_records =
       List.length (List.filter (fun (lo, _, _) -> lo > d) dropped)
@@ -1026,6 +1172,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let replayed_txs =
       List.fold_left (fun acc (lo, hi, _) -> acc + (hi - lo + 1)) 0 keep
     in
+    let corrupted_records = p.p_corrupted in
+    let quarantined_lines = p.p_quarantined in
+    let rjournal = p.p_rjournal in
+    let use_journal = p.p_use_journal in
+    let ckpt = p.p_ckpt in
+    let plogs = p.p_plogs in
     (* The recovery verdict is fully determined before any heap mutation.
        If a previous attach sealed a verdict for the same durable ID and
        then crashed mid-recovery, adopt it: the report converges to the
@@ -1052,6 +1204,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     (* Replay in transaction-ID order. *)
     let ranges = ref [] in
     let replayed_extents = Hashtbl.create 64 in
+    let frontier = ref p.p_frontier in
     List.iter
       (fun (_, _, entries) ->
         List.iter
@@ -1064,6 +1217,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
               Hashtbl.replace replayed_extents ((addr + 7) / cfg.Config.crc_extent) ()
             | Log_entry.Alloc { off; len } -> Alloc.reserve repro_alloc ~off ~len
             | Log_entry.Free { off; len } -> Alloc.free repro_alloc ~off ~len
+            | Log_entry.Cross { gtid; _ } -> if gtid > !frontier then frontier := gtid
             | Log_entry.Tx_end _ -> ())
           entries)
       keep;
@@ -1075,7 +1229,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let crcdir = Crcdir.attach nvm cfg in
     Crcdir.update crcdir (Hashtbl.fold (fun e () acc -> e :: acc) replayed_extents []);
     Checkpoint.write ckpt
-      { Checkpoint.reproduced_upto = d; free_extents = Alloc.extents repro_alloc };
+      { Checkpoint.reproduced_upto = d; cross_frontier = !frontier;
+        free_extents = Alloc.extents repro_alloc };
     Array.iter
       (fun plog -> Plog.recycle_to plog ~end_off:(Plog.tail_off plog) ~next_seq:(Plog.next_seq plog))
       plogs;
@@ -1092,6 +1247,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     shun_bad_lines t;
     t.persisted_data <- d;
     t.checkpointed <- d;
+    t.cross_frontier <- !frontier;
     ( t,
       {
         durable = verdict.Rjournal.v_durable;
@@ -1101,6 +1257,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         corrupted_records = verdict.Rjournal.v_corrupted_records;
         quarantined_lines = verdict.Rjournal.v_quarantined_lines;
       } )
+
+  let attach cfg nvm = attach_commit (attach_prepare cfg nvm)
 
   (* ------------------------------------------------------------------ *)
   (* Introspection                                                       *)

@@ -72,9 +72,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
 
   (** {1 Lifecycle} *)
 
-  val create : Config.t -> t
+  val create : ?nvm_label:string -> Config.t -> t
   (** Build a fresh instance: allocates and formats a simulated NVM device
-      per the config's layout. *)
+      per the config's layout.  [nvm_label] (default ["nvm"]) names the
+      device in trace per-device accounting — the sharding layer passes
+      ["shard<i>"]. *)
 
   val attach : Config.t -> Dudetm_nvm.Nvm.t -> t * recovery_report
   (** Recover from a crashed device: scan the log rings, recompute the
@@ -89,9 +91,53 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
       [attach] converges to the same durable ID, heap state and recovery
       report. *)
 
+  (** {2 Two-phase recovery (cross-shard vote)}
+
+      [attach] is the composition of a non-destructive scan and a
+      destructive commit.  The sharding layer prepares every region first,
+      votes over the scanned fragment seals and checkpointed frontiers,
+      then commits each region with its voted durable cut — so a fragment
+      of an incomplete cross-shard transaction set is discarded on {e
+      every} region, never replayed on some and dropped on others. *)
+
+  type prepared
+
+  val attach_prepare : Config.t -> Dudetm_nvm.Nvm.t -> prepared
+  (** Undo any journalled probe, read the checkpoint, scan the log rings
+      and compute the candidate durable ID.  Mutates nothing but the intent
+      journal and the torn/lost ring headers the tolerant scan repairs. *)
+
+  val attach_commit : ?durable_cut:int -> prepared -> t * recovery_report
+  (** Finish recovery: seal the verdict, replay the durable prefix (capped
+      at [durable_cut] when the cross-shard vote shrank it), checkpoint and
+      recycle.  [durable_cut] may only shrink the prefix; it is clamped to
+      the checkpointed watermark from below and rejected above the scanned
+      candidate. *)
+
+  val prepared_durable : prepared -> int
+  (** Candidate durable ID before any vote. *)
+
+  val prepared_frontier : prepared -> int
+  (** Checkpointed cross-shard frontier: every fragment with a global ID at
+      or below it was replayed (and possibly recycled) by this region. *)
+
+  val prepared_fragments : prepared -> (int * int * int) list
+  (** Scanned fragment seals [(gtid, mask, tid)], sorted. *)
+
+  val prepared_checkpoint_upto : prepared -> int
+  (** Checkpointed replay watermark: the floor below which a durable cut
+      cannot reach (replayed state cannot be un-replayed). *)
+
   val start : t -> unit
   (** Spawn the Persist and Reproduce daemon threads.  Must run inside
       {!Dudetm_sim.Sched.run}; call once before the first transaction. *)
+
+  val begin_drain : t -> unit
+  (** Mark the instance as draining without blocking.  The sharding layer
+      sets this on every region before blocking in {!drain}: a
+      combined-mode persist daemon only flushes a partial trailing group
+      once draining is set, and a cross-shard replay gate on one region can
+      require exactly that trailing flush on a sibling. *)
 
   val drain : t -> unit
   (** Block until every committed transaction is durable and reproduced.
@@ -150,6 +196,29 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
 
   val wait_durable : t -> int -> unit
   (** Block until [durable_id t >= tid]. *)
+
+  (** {1 Cross-shard transactions (sharding layer hooks)} *)
+
+  val seal_cross : tx -> gtid:int -> mask:int -> unit
+  (** Request a fragment seal: if this transaction commits with writes, a
+      [Cross { gtid; mask; tid }] redo entry is logged just before its end
+      mark, CRC-sealed into the same durable record.  Called by the
+      sharding layer once the body has finished and the set of shards
+      actually written is known. *)
+
+  val set_cross_gate : t -> (int -> bool) option -> unit
+  (** Install the cross-shard replay gate: when the next replay item
+      carries a [Cross] seal, Reproduce applies it only once [gate gtid]
+      holds for the item's highest sealed global ID (i.e. every cross-shard
+      transaction at or below it is durable on all its shards).  The global
+      ID comes from the log record itself, so a fragment can never be
+      applied before the sharding layer knows its sibling set.  The
+      predicate must be pure — it runs inside scheduler wait conditions.
+      Ignored under the [Skip_fragment_gate] fault mutant. *)
+
+  val cross_frontier : t -> int
+  (** Highest cross-shard global transaction ID this region has replayed
+      (volatile mirror of the checkpointed frontier). *)
 
   (** {1 Degraded mode} *)
 

@@ -194,6 +194,7 @@ type result = {
   run_cycles : int;  (** full simulated run, setup through drain/stop *)
   counters : (string * int) list;
   latency : Stats.Latency.r;
+  commit_latency : Stats.Latency.r;
 }
 
 let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
@@ -206,6 +207,7 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
   let start_bytes = ref 0 in
   let end_ = ref 0 in
   let latency = Stats.Latency.create () in
+  let commit_latency = Stats.Latency.create () in
   let writes_of () =
     List.fold_left
       (fun acc (k, v) ->
@@ -250,6 +252,7 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
                     Sched.advance bench.think;
                     let t0 = Sched.now () in
                     let tid = do_tx ~thread:th ~rng in
+                    Stats.Latency.record commit_latency (Sched.now () - t0);
                     if measure_latency && tid > 0 then Queue.push (tid, t0) pending;
                     if measure_latency then ack ();
                     done_.(th) <- done_.(th) + 1
@@ -278,6 +281,7 @@ let run_bench ?(seed = 9000) ?(measure_latency = false) (ptm : Ptm.t) bench =
     run_cycles;
     counters = ptm.Ptm.counters ();
     latency;
+    commit_latency;
   }
 
 (* ------------------------------ output ------------------------------- *)
@@ -288,3 +292,10 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n" hr title hr
 
 let pp_ktps v = if v >= 1000.0 then Printf.sprintf "%.2f MTPS" (v /. 1000.0) else Printf.sprintf "%.1f KTPS" v
+
+let pp_commit_latency r =
+  let p q = Stats.Latency.percentile r.commit_latency q in
+  Printf.sprintf "p50 %d / p95 %d / p99 %d cyc" (p 50.0) (p 95.0) (p 99.0)
+
+let report_commit_latency label r =
+  Printf.printf "  commit latency %-24s %s\n%!" label (pp_commit_latency r)

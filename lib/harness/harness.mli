@@ -91,6 +91,9 @@ type result = {
   latency : Dudetm_sim.Stats.Latency.r;
       (** durable-acknowledgement latencies (Section 5.3 protocol), only
           populated when [measure_latency] was set *)
+  commit_latency : Dudetm_sim.Stats.Latency.r;
+      (** per-transaction commit latency in simulated cycles (begin to
+          [dtmEnd] return, think time excluded) — always populated *)
 }
 
 val run_bench :
@@ -103,3 +106,10 @@ val run_bench :
 val section : string -> unit
 
 val pp_ktps : float -> string
+
+val pp_commit_latency : result -> string
+(** ["p50 .. / p95 .. / p99 .. cyc"] over {!result.commit_latency}. *)
+
+val report_commit_latency : string -> result -> unit
+(** One-line commit-latency percentile report, used by every bench
+    experiment. *)

@@ -24,7 +24,7 @@ let combine group =
         incr writes_in;
         if not (Hashtbl.mem last_value addr) then order := addr :: !order;
         Hashtbl.replace last_value addr value
-      | Log_entry.Alloc _ | Log_entry.Free _ -> allocs := e :: !allocs
+      | Log_entry.Alloc _ | Log_entry.Free _ | Log_entry.Cross _ -> allocs := e :: !allocs
       | Log_entry.Tx_end _ -> ends := e :: !ends)
     group;
   let writes =

@@ -3,12 +3,14 @@ type t =
   | Alloc of { off : int; len : int }
   | Free of { off : int; len : int }
   | Tx_end of { tid : int }
+  | Cross of { gtid : int; mask : int; tid : int }
 
 let pp ppf = function
   | Write { addr; value } -> Format.fprintf ppf "W[0x%x]=%Ld" addr value
   | Alloc { off; len } -> Format.fprintf ppf "A[0x%x,+%d]" off len
   | Free { off; len } -> Format.fprintf ppf "F[0x%x,+%d]" off len
   | Tx_end { tid } -> Format.fprintf ppf "End(%d)" tid
+  | Cross { gtid; mask; tid } -> Format.fprintf ppf "X(g%d,m0x%x,t%d)" gtid mask tid
 
 let equal a b = a = b
 
@@ -16,6 +18,7 @@ let encoded_size = function
   | Write _ -> 17
   | Alloc _ | Free _ -> 17
   | Tx_end _ -> 9
+  | Cross _ -> 25
 
 let write_size = 17
 
@@ -39,6 +42,12 @@ let encode_into buf pos = function
     Bytes.set buf pos 'E';
     Bytes.set_int64_le buf (pos + 1) (Int64.of_int tid);
     pos + 9
+  | Cross { gtid; mask; tid } ->
+    Bytes.set buf pos 'X';
+    Bytes.set_int64_le buf (pos + 1) (Int64.of_int gtid);
+    Bytes.set_int64_le buf (pos + 9) (Int64.of_int mask);
+    Bytes.set_int64_le buf (pos + 17) (Int64.of_int tid);
+    pos + 25
 
 let encode_list entries =
   let total = List.fold_left (fun acc e -> acc + encoded_size e) 0 entries in
@@ -67,12 +76,21 @@ let decode_list buf =
       | 'E' ->
         if pos + 9 > n then invalid_arg "Log_entry.decode_list: truncated Tx_end";
         go (pos + 9) (Tx_end { tid = u64 (pos + 1) } :: acc)
+      | 'X' ->
+        if pos + 25 > n then invalid_arg "Log_entry.decode_list: truncated Cross";
+        go (pos + 25)
+          (Cross { gtid = u64 (pos + 1); mask = u64 (pos + 9); tid = u64 (pos + 17) } :: acc)
       | c -> invalid_arg (Printf.sprintf "Log_entry.decode_list: bad tag %C" c)
   in
   go 0 []
 
 let tids entries =
   List.filter_map (function Tx_end { tid } -> Some tid | _ -> None) entries
+
+let cross_seals entries =
+  List.filter_map
+    (function Cross { gtid; mask; tid } -> Some (gtid, mask, tid) | _ -> None)
+    entries
 
 (* Record-payload framing shared by the engine's Persist step and every
    reader of persisted records (recovery, scrub): one flag byte marking the

@@ -12,6 +12,13 @@ type t =
   | Alloc of { off : int; len : int }
   | Free of { off : int; len : int }
   | Tx_end of { tid : int }
+  | Cross of { gtid : int; mask : int; tid : int }
+      (** Cross-shard fragment seal: this transaction (local id [tid]) is
+          one fragment of global transaction [gtid], whose touched shards
+          are the set bits of [mask].  Appended just before the fragment's
+          [Tx_end]; recovery treats the fragment as replayable only once
+          every sibling shard in [mask] holds its own durable seal for
+          [gtid]. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -32,6 +39,9 @@ val decode_list : bytes -> t list
 
 val tids : t list -> int list
 (** Transaction IDs of all [Tx_end] marks, in order of appearance. *)
+
+val cross_seals : t list -> (int * int * int) list
+(** [(gtid, mask, tid)] of all [Cross] seals, in order of appearance. *)
 
 val encode_payload : ?compress:bool -> t list -> bytes
 (** Serialize entries as a persistent-record payload: a one-byte plain /

@@ -51,7 +51,7 @@ let push t e =
 let append t e =
   (match e with
   | Log_entry.Tx_end _ -> invalid_arg "Vlog.append: use append_end for end marks"
-  | Log_entry.Write _ | Log_entry.Alloc _ | Log_entry.Free _ -> ());
+  | Log_entry.Write _ | Log_entry.Alloc _ | Log_entry.Free _ | Log_entry.Cross _ -> ());
   if length t = t.cap then
     if t.unbounded then grow t
     else if t.tail - t.committed >= t.cap then

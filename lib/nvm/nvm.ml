@@ -23,6 +23,7 @@ type decay = {
    [total write size / bandwidth], not whole-line traffic. *)
 type t = {
   cfg : Pmem_config.t;
+  label : string;  (* trace device identity; shards label theirs "shard<i>" *)
   latest : Mem.t;
   persisted : Mem.t;
   dirty : (int, int ref) Hashtbl.t;  (* line number -> dirty payload bytes *)
@@ -48,11 +49,12 @@ type t = {
   mutable last_crash_survivors : int list;
 }
 
-let create ?(charge_time = true) cfg ~size =
+let create ?(charge_time = true) ?(label = "nvm") cfg ~size =
   if size mod cfg.Pmem_config.line_size <> 0 then
     invalid_arg "Nvm.create: size must be a multiple of the line size";
   {
     cfg;
+    label;
     latest = Mem.create size;
     persisted = Mem.create size;
     dirty = Hashtbl.create 4096;
@@ -76,6 +78,8 @@ let set_persist_hook t hook = t.persist_hook <- hook
 let fire_hook t = match t.persist_hook with Some f -> f () | None -> ()
 
 let size t = Mem.size t.latest
+
+let label t = t.label
 
 let config t = t.cfg
 
@@ -258,10 +262,10 @@ let charge t bytes =
     in
     (* Every cycle the NVM channel ever costs anyone flows through here, so
        this one call gives the per-thread "who pays for persistence" split. *)
-    Trace.nvm_transfer ~bytes ~cycles:cost;
+    Trace.nvm_transfer ~dev:t.label ~bytes ~cycles:cost;
     Sched.advance cost
   end
-  else Trace.nvm_transfer ~bytes ~cycles:0;
+  else Trace.nvm_transfer ~dev:t.label ~bytes ~cycles:0;
   run_decay t
 
 let flush_range t ~off ~len =

@@ -41,12 +41,17 @@ type fault =
           rewriting: flushing fresh data over a poisoned line clears the
           poison. *)
 
-val create : ?charge_time:bool -> Pmem_config.t -> size:int -> t
+val create : ?charge_time:bool -> ?label:string -> Pmem_config.t -> size:int -> t
 (** [create cfg ~size] makes a device of [size] bytes, zero-filled and fully
     persistent.  [charge_time] (default true) controls whether persists
-    advance the simulated clock. *)
+    advance the simulated clock.  [label] (default ["nvm"]) names the
+    device in trace per-device accounting; the sharding layer labels each
+    region's device ["shard<i>"]. *)
 
 val size : t -> int
+
+val label : t -> string
+(** The trace device label given at {!create}. *)
 
 val config : t -> Pmem_config.t
 

@@ -42,6 +42,7 @@ type state = {
   mutable last_ts : (int, int) Hashtbl.t;
   mutable names : (int, string) Hashtbl.t;
   mutable nvm : (int, nvm_cell) Hashtbl.t;
+  mutable nvm_dev : (string, nvm_cell) Hashtbl.t;
   mutable orphans : int;
   mutable mismatched : int;
   mutable nonmono : int;
@@ -65,6 +66,7 @@ let st =
     last_ts = Hashtbl.create 1;
     names = Hashtbl.create 1;
     nvm = Hashtbl.create 1;
+    nvm_dev = Hashtbl.create 1;
     orphans = 0;
     mismatched = 0;
     nonmono = 0;
@@ -79,6 +81,7 @@ let clear ~capacity =
   st.last_ts <- Hashtbl.create 16;
   st.names <- Hashtbl.create 16;
   st.nvm <- Hashtbl.create 16;
+  st.nvm_dev <- Hashtbl.create 16;
   st.orphans <- 0;
   st.mismatched <- 0;
   st.nonmono <- 0;
@@ -229,7 +232,7 @@ let counter ~cat name v =
 let sample ~cat name cycles =
   if st.on then record_sample (cat ^ "." ^ name) cycles
 
-let nvm_transfer ~bytes ~cycles =
+let nvm_transfer ~dev ~bytes ~cycles =
   if st.on then begin
     let ts = !now_fn () in
     let tid = self_noted () in
@@ -244,6 +247,17 @@ let nvm_transfer ~bytes ~cycles =
     cell.c_bytes <- cell.c_bytes + bytes;
     cell.c_cycles <- cell.c_cycles + cycles;
     cell.c_ops <- cell.c_ops + 1;
+    let dcell =
+      match Hashtbl.find_opt st.nvm_dev dev with
+      | Some c -> c
+      | None ->
+        let c = { c_bytes = 0; c_cycles = 0; c_ops = 0 } in
+        Hashtbl.add st.nvm_dev dev c;
+        c
+    in
+    dcell.c_bytes <- dcell.c_bytes + bytes;
+    dcell.c_cycles <- dcell.c_cycles + cycles;
+    dcell.c_ops <- dcell.c_ops + 1;
     emit ~ts ~tid ~kind:Ev_instant ~cat:"nvm" ~name:"persist" ~arg:bytes
   end
 
@@ -320,6 +334,20 @@ let nvm_accts () =
       :: acc)
     st.nvm []
   |> List.sort (fun a b -> compare (b.nv_bytes, a.nv_thread) (a.nv_bytes, b.nv_thread))
+
+type nvm_dev_acct = {
+  nd_dev : string;
+  nd_bytes : int;
+  nd_cycles : int;
+  nd_ops : int;
+}
+
+let nvm_dev_accts () =
+  Hashtbl.fold
+    (fun dev c acc ->
+      { nd_dev = dev; nd_bytes = c.c_bytes; nd_cycles = c.c_cycles; nd_ops = c.c_ops } :: acc)
+    st.nvm_dev []
+  |> List.sort (fun a b -> compare (b.nd_bytes, a.nd_dev) (a.nd_bytes, b.nd_dev))
 
 let retained_iter f =
   let len = Array.length st.ring in
@@ -451,6 +479,21 @@ let summary_json ?total_cycles () =
         (Printf.sprintf "\n    {\"thread\":\"%s\",\"bytes\":%d,\"cycles\":%d,\"ops\":%d%s}"
            (json_escape a.nv_thread) a.nv_bytes a.nv_cycles a.nv_ops util))
     (nvm_accts ());
+  Buffer.add_string b "\n  ],\n  \"nvm_devices\": [";
+  first := true;
+  List.iter
+    (fun a ->
+      sep ();
+      let util =
+        match total_cycles with
+        | Some t when t > 0 ->
+          Printf.sprintf ",\"utilization\":%.4f" (float_of_int a.nd_cycles /. float_of_int t)
+        | _ -> ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"dev\":\"%s\",\"bytes\":%d,\"cycles\":%d,\"ops\":%d%s}"
+           (json_escape a.nd_dev) a.nd_bytes a.nd_cycles a.nd_ops util))
+    (nvm_dev_accts ());
   Buffer.add_string b "\n  ],\n  \"ring_occupancy\": [";
   first := true;
   List.iter

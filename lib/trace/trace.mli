@@ -84,11 +84,14 @@ val sample : cat:string -> string -> int -> unit
     attribution for events too hot to buffer individually (per-write log
     appends). *)
 
-val nvm_transfer : bytes:int -> cycles:int -> unit
+val nvm_transfer : dev:string -> bytes:int -> cycles:int -> unit
 (** Attribute one NVM persist ordering ([bytes] flushed, [cycles] of
-    channel occupancy) to the current thread, and emit an instant under
-    category ["nvm"].  Called by the device at every charge; the per-thread
-    breakdown is the paper's "who pays for persistence" lens. *)
+    channel occupancy) to the current thread {e and} to device [dev], and
+    emit an instant under category ["nvm"].  Called by the device at every
+    charge; the per-thread breakdown is the paper's "who pays for
+    persistence" lens, the per-device one shows how sharding spreads the
+    traffic across independent NVM channels.  [dev] is a plain (non-option)
+    argument so the disabled-mode call stays allocation-free. *)
 
 (** {1 Scheduler integration} *)
 
@@ -131,6 +134,18 @@ val nvm_accts : unit -> nvm_acct list
 (** Per-thread NVM traffic, sorted by descending bytes.  Dividing
     [nv_cycles] by the run's wall cycles gives that daemon's channel
     utilization. *)
+
+type nvm_dev_acct = {
+  nd_dev : string;  (** device label (see {!Dudetm_nvm.Nvm.create}) *)
+  nd_bytes : int;
+  nd_cycles : int;
+  nd_ops : int;
+}
+
+val nvm_dev_accts : unit -> nvm_dev_acct list
+(** Per-device NVM traffic, sorted by descending bytes.  Each shard owns
+    its own labeled device, so this is the per-shard channel-utilization
+    breakdown. *)
 
 val counter_series : cat:string -> string -> (int * int) list
 (** [(ts, value)] pairs for one counter, oldest first, from the retained

@@ -1,0 +1,72 @@
+(* Deterministic keyspace partitioner shared by the KV, YCSB and hash-table
+   drivers when they run over sharded storage.  The mapping is a pure
+   function of the descriptor — no run state — so a shard assignment
+   computed before a crash is exactly the assignment computed after
+   re-attach, provided the descriptor words were persisted (e.g. in the
+   root block). *)
+
+type scheme =
+  | Hash
+  | Range of { lo : int64; hi : int64 }
+
+type t = { scheme : scheme; nshards : int }
+
+let check_nshards nshards =
+  if nshards < 1 then invalid_arg "Partition: nshards < 1"
+
+let hashed ~nshards =
+  check_nshards nshards;
+  { scheme = Hash; nshards }
+
+let range ~nshards ~lo ~hi =
+  check_nshards nshards;
+  if Int64.compare lo hi >= 0 then invalid_arg "Partition.range: empty key range";
+  { scheme = Range { lo; hi }; nshards }
+
+let nshards t = t.nshards
+
+let scheme t = t.scheme
+
+(* splitmix64 finalizer: a fixed, platform-independent mix so hash
+   placement never depends on OCaml's polymorphic hash. *)
+let mix64 k =
+  let open Int64 in
+  let z = mul (logxor k (shift_right_logical k 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let shard_of t key =
+  match t.scheme with
+  | Hash ->
+    let h = Int64.to_int (Int64.shift_right_logical (mix64 key) 3) in
+    h mod t.nshards
+  | Range { lo; hi } ->
+    if Int64.compare key lo <= 0 then 0
+    else if Int64.compare key hi >= 0 then t.nshards - 1
+    else
+      (* equal-width buckets over [lo, hi) *)
+      let span = Int64.sub hi lo in
+      let off = Int64.sub key lo in
+      let s =
+        Int64.to_int (Int64.div (Int64.mul off (Int64.of_int t.nshards)) span)
+      in
+      min (t.nshards - 1) (max 0 s)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent descriptor: three u64 words                              *)
+(* ------------------------------------------------------------------ *)
+
+let descriptor_words = 3
+
+let encode t =
+  match t.scheme with
+  | Hash -> [| Int64.of_int ((t.nshards lsl 1) lor 0); 0L; 0L |]
+  | Range { lo; hi } -> [| Int64.of_int ((t.nshards lsl 1) lor 1); lo; hi |]
+
+let decode w =
+  if Array.length w <> descriptor_words then invalid_arg "Partition.decode: bad descriptor";
+  let head = Int64.to_int w.(0) in
+  let nshards = head lsr 1 in
+  check_nshards nshards;
+  if head land 1 = 0 then { scheme = Hash; nshards }
+  else range ~nshards ~lo:w.(1) ~hi:w.(2)

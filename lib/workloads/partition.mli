@@ -1,0 +1,38 @@
+(** Deterministic keyspace partitioner for sharded storage.
+
+    Maps 64-bit keys to shard indices as a pure function of a small
+    descriptor, so the KV, YCSB and hash-table drivers place every key on
+    the same shard before and after a crash.  Two schemes: [Hash] spreads
+    keys with a fixed splitmix64 finalizer (platform-independent, no
+    dependence on OCaml's polymorphic hash); [Range] carves [\[lo, hi)]
+    into equal-width contiguous buckets (keys outside the range clamp to
+    the edge shards). *)
+
+type scheme =
+  | Hash
+  | Range of { lo : int64; hi : int64 }
+
+type t
+
+val hashed : nshards:int -> t
+
+val range : nshards:int -> lo:int64 -> hi:int64 -> t
+(** Raises [Invalid_argument] when [lo >= hi]. *)
+
+val shard_of : t -> int64 -> int
+(** Stable shard assignment in [0, nshards). *)
+
+val nshards : t -> int
+
+val scheme : t -> scheme
+
+val descriptor_words : int
+(** Number of u64 words {!encode} produces (3). *)
+
+val encode : t -> int64 array
+(** Persistable descriptor; store it (e.g. in the root block) so
+    {!decode} rebuilds the identical mapping after re-attach. *)
+
+val decode : int64 array -> t
+(** Inverse of {!encode}; raises [Invalid_argument] on a malformed
+    descriptor. *)

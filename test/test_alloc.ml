@@ -121,7 +121,8 @@ let prop_alloc_replay_equivalence =
 
 let device () = Nvm.create ~charge_time:false Pmem_config.default ~size:65536
 
-let state upto exts = { Checkpoint.reproduced_upto = upto; free_extents = exts }
+let state upto exts =
+  { Checkpoint.reproduced_upto = upto; cross_frontier = 0; free_extents = exts }
 
 let test_checkpoint_roundtrip () =
   let nvm = device () in

@@ -165,6 +165,58 @@ let test_media_mutant_skip_crc () =
       Alcotest.failf "media failure did not replay: %s"
         (Check.media_replay_line mf))
 
+(* -------------------------------------------------------------------- *)
+(* Sharded cross-commit campaign                                          *)
+(* -------------------------------------------------------------------- *)
+
+(* The real engine survives power cuts at every sampled persist boundary
+   during cross-shard commits: no partial transfer, nothing acked lost. *)
+let test_shards_clean_engine () =
+  match Check.check_shards () with
+  | Check.Shard_pass { runs; boundaries } ->
+    Alcotest.(check bool) "campaign explored boundaries" true
+      (runs > 1 && boundaries > 0)
+  | Check.Shard_fail shf ->
+    Alcotest.failf "clean engine failed the shard campaign: %s\n  %s"
+      shf.Check.shf_reason
+      (Check.shard_replay_line shf)
+
+(* With the fragment gate skipped, Reproduce replays a cross-shard fragment
+   before its sibling is durable — some power cut must expose a partial
+   transfer.  The recorded boundary replays deterministically, and its
+   one-liner carries the mutant flag. *)
+let test_shards_mutant_skip_fragment_gate () =
+  match Check.check_shards ~fault:Config.Skip_fragment_gate () with
+  | Check.Shard_pass _ ->
+    Alcotest.fail "skip-fragment-gate mutant escaped the shard campaign"
+  | Check.Shard_fail shf ->
+    let line = Check.shard_replay_line shf in
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      "replay line names the mutant" true
+      (contains line "--mutate skip-fragment-gate");
+    (match shf.Check.shf_crash with
+    | None -> Alcotest.fail "mutant should fail at a crash boundary, not the clean run"
+    | Some k ->
+      (match
+         Check.check_shards ~fault:Config.Skip_fragment_gate ~nshards:shf.Check.shf_nshards
+           ~txs:shf.Check.shf_txs ~only_crash:k ()
+       with
+      | Check.Shard_fail _ -> ()
+      | Check.Shard_pass _ -> Alcotest.failf "shard failure did not replay: %s" line));
+    (* The real engine passes the exact boundary that exposes the mutant. *)
+    (match
+       Check.check_shards ~nshards:shf.Check.shf_nshards ~txs:shf.Check.shf_txs
+         ?only_crash:shf.Check.shf_crash ()
+     with
+    | Check.Shard_pass _ -> ()
+    | Check.Shard_fail f ->
+      Alcotest.failf "real engine fails the mutant's boundary: %s" f.Check.shf_reason)
+
 let suite =
   [
     Alcotest.test_case "clean: dude" `Quick test_clean_dude;
@@ -186,4 +238,8 @@ let suite =
       `Quick test_media_clean_engine;
     Alcotest.test_case "media campaign: skip-crc-verify mutant caught" `Quick
       test_media_mutant_skip_crc;
+    Alcotest.test_case "shard campaign: clean engine all-or-nothing" `Slow
+      test_shards_clean_engine;
+    Alcotest.test_case "shard campaign: skip-fragment-gate mutant caught" `Slow
+      test_shards_mutant_skip_fragment_gate;
   ]

@@ -166,7 +166,7 @@ let replay entries =
     (fun e ->
       match e with
       | Log_entry.Write { addr; value } -> Hashtbl.replace mem addr value
-      | Log_entry.Alloc _ | Log_entry.Free _ | Log_entry.Tx_end _ -> ())
+      | Log_entry.Alloc _ | Log_entry.Free _ | Log_entry.Tx_end _ | Log_entry.Cross _ -> ())
     entries;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) mem [] |> List.sort compare
 

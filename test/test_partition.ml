@@ -1,0 +1,114 @@
+(* Keyspace partitioner tests: determinism, balance, range edges, and
+   stability of shard assignment across a crash + re-attach (the
+   descriptor persisted in a shard's root block survives and decodes to
+   the identical mapping). *)
+
+module Sched = Dudetm_sim.Sched
+module Nvm = Dudetm_nvm.Nvm
+module Config = Dudetm_core.Config
+module Partition = Dudetm_workloads.Partition
+module Sh = Dudetm_shard.Shard.Make (Dudetm_tm.Tinystm)
+
+let check = Alcotest.check
+
+let sample_keys = List.init 512 (fun i -> Int64.of_int ((i * 7919) + 13))
+
+let test_hash_deterministic_and_balanced () =
+  let p = Partition.hashed ~nshards:8 in
+  let counts = Array.make 8 0 in
+  List.iter
+    (fun k ->
+      let s = Partition.shard_of p k in
+      check Alcotest.int "stable on repeat" s (Partition.shard_of p k);
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 8);
+      counts.(s) <- counts.(s) + 1)
+    sample_keys;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d gets a fair share" i)
+        true
+        (c > 512 / 8 / 4))
+    counts
+
+let test_range_edges () =
+  let p = Partition.range ~nshards:4 ~lo:0L ~hi:400L in
+  check Alcotest.int "lo maps to first" 0 (Partition.shard_of p 0L);
+  check Alcotest.int "below lo clamps" 0 (Partition.shard_of p (-5L));
+  check Alcotest.int "hi clamps to last" 3 (Partition.shard_of p 400L);
+  check Alcotest.int "above hi clamps" 3 (Partition.shard_of p 999L);
+  check Alcotest.int "first quarter" 0 (Partition.shard_of p 99L);
+  check Alcotest.int "second quarter" 1 (Partition.shard_of p 100L);
+  check Alcotest.int "last quarter" 3 (Partition.shard_of p 399L);
+  (* monotone: range placement never decreases with the key *)
+  let prev = ref 0 in
+  for k = 0 to 400 do
+    let s = Partition.shard_of p (Int64.of_int k) in
+    Alcotest.(check bool) "monotone" true (s >= !prev);
+    prev := s
+  done
+
+let test_descriptor_roundtrip () =
+  List.iter
+    (fun p ->
+      let p' = Partition.decode (Partition.encode p) in
+      List.iter
+        (fun k ->
+          check Alcotest.int "same assignment after decode" (Partition.shard_of p k)
+            (Partition.shard_of p' k))
+        sample_keys)
+    [ Partition.hashed ~nshards:5; Partition.range ~nshards:7 ~lo:(-100L) ~hi:10_000L ];
+  (try
+     ignore (Partition.decode [| 1L |]);
+     Alcotest.fail "short descriptor should be rejected"
+   with Invalid_argument _ -> ())
+
+(* Persist the descriptor in shard 0's root block, crash without a drain,
+   re-attach, decode — every sampled key must land on its original
+   shard. *)
+let test_stable_across_reattach () =
+  let nshards = 4 in
+  let cfg =
+    {
+      Config.default with
+      Config.heap_size = 1 lsl 16;
+      nthreads = 2;
+      vlog_capacity = 256;
+      plog_size = 1 lsl 13;
+      meta_size = 8192;
+      checkpoint_records = 2;
+    }
+  in
+  let p = Partition.range ~nshards ~lo:0L ~hi:1_000_000L in
+  let before = List.map (Partition.shard_of p) sample_keys in
+  let sh = Sh.create ~nshards cfg in
+  ignore
+    (Sched.run (fun () ->
+         Sh.start sh;
+         (match
+            Sh.atomically sh ~thread:0 ~shards:[ 0 ] (fun tx ->
+                Array.iteri
+                  (fun i w -> Sh.write tx ~shard:0 (8 * i) w)
+                  (Partition.encode p))
+          with
+         | Some (_, ack) -> Sh.wait_durable sh ack
+         | None -> Alcotest.fail "descriptor write aborted");
+         (* crash: no drain, no stop *)
+         ()));
+  Array.init nshards (Sh.nvm sh) |> Array.iter Nvm.crash;
+  let sh2, _ = Sh.attach ~nshards cfg (Array.init nshards (Sh.nvm sh)) in
+  let words =
+    Array.init Partition.descriptor_words (fun i ->
+        Sh.Engine.heap_read_u64 (Sh.engine sh2 0) (8 * i))
+  in
+  let p' = Partition.decode words in
+  let after = List.map (Partition.shard_of p') sample_keys in
+  List.iter2 (fun b a -> check Alcotest.int "assignment survives re-attach" b a) before after
+
+let suite =
+  [
+    Alcotest.test_case "hash determinism and balance" `Quick test_hash_deterministic_and_balanced;
+    Alcotest.test_case "range edges and monotonicity" `Quick test_range_edges;
+    Alcotest.test_case "descriptor roundtrip" `Quick test_descriptor_roundtrip;
+    Alcotest.test_case "stable across re-attach" `Quick test_stable_across_reattach;
+  ]

@@ -263,7 +263,7 @@ let test_zero_allocation_when_disabled () =
     Trace.instant ~cat:"x" "i" i;
     Trace.counter ~cat:"x" "c" i;
     Trace.sample ~cat:"x" "s" i;
-    Trace.nvm_transfer ~bytes:i ~cycles:i
+    Trace.nvm_transfer ~dev:"dev" ~bytes:i ~cycles:i
   done;
   let delta = Gc.minor_words () -. before in
   (* Allow a few words for the Gc.minor_words float boxes themselves; the
