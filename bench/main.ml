@@ -26,6 +26,7 @@ let experiments scale full =
     ("recovery", fun () -> Recovery_bench.run ~scale ());
     ("trace", fun () -> Trace_bench.run ~scale ());
     ("shard", fun () -> Shard_bench.run ~scale ());
+    ("persist", fun () -> Persist_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -43,6 +44,7 @@ let bechamel_tests =
     ("recovery", Recovery_bench.tiny);
     ("trace", Trace_bench.tiny);
     ("shard", Shard_bench.tiny);
+    ("persist", Persist_bench.tiny);
   ]
 
 let run_bechamel () =

@@ -25,10 +25,12 @@ let write_file path contents =
 
 let row_json r =
   let p q = Dudetm_sim.Stats.Latency.percentile r.SB.sb_commit_latency q in
+  let p50 = p 50.0 and p99 = p 99.0 in
+  let tail = if p50 > 0 then float_of_int p99 /. float_of_int p50 else 0.0 in
   Printf.sprintf
-    {|    {"shards": %d, "cross_pct": %d, "txs": %d, "cross_txs": %d, "cycles": %d, "ktps": %.1f, "commit_p50": %d, "commit_p95": %d, "commit_p99": %d}|}
+    {|    {"shards": %d, "cross_pct": %d, "txs": %d, "cross_txs": %d, "cycles": %d, "ktps": %.1f, "commit_p50": %d, "commit_p95": %d, "commit_p99": %d, "p99_over_p50": %.2f}|}
     r.SB.sb_nshards r.SB.sb_cross_pct r.SB.sb_ntxs r.SB.sb_cross_txs r.SB.sb_cycles
-    r.SB.sb_ktps (p 50.0) (p 95.0) (p 99.0)
+    r.SB.sb_ktps p50 (p 95.0) p99 tail
 
 let run ?(scale = 1.0) () =
   let ntxs = max 400 (int_of_float (float_of_int canonical_ntxs *. scale)) in

@@ -354,6 +354,7 @@ let check_cmd =
         ("skip-crc-verify", Config.Skip_crc_verify);
         ("skip-recovery-journal", Config.Skip_recovery_journal);
         ("skip-fragment-gate", Config.Skip_fragment_gate);
+        ("skip-batch-seal", Config.Skip_batch_seal);
       ]
     in
     Arg.(
@@ -363,9 +364,23 @@ let check_cmd =
           ~doc:
             "Seed a deliberate bug into DudeTM (checker self-validation): none, \
              early-durable, unfenced-reproduce, skip-crc-verify, \
-             skip-recovery-journal, or skip-fragment-gate (Reproduce replays \
+             skip-recovery-journal, skip-fragment-gate (Reproduce replays \
              cross-shard fragments without waiting for sibling durability; \
-             caught by --shards).")
+             caught by --shards), or skip-batch-seal (group commit publishes \
+             durability at batch seal instead of after the record's fence; \
+             caught by --batch).")
+  in
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Run the batch-boundary crash campaign instead: drive the pipelined \
+             combine/flush group commit with small batches, cut power at every \
+             persist boundary (including mid-pipeline, between a batch's seal \
+             and its record fence), re-attach, and require the recovered state \
+             to be exactly the acknowledged durable prefix — then re-crash the \
+             recovered engine (two deep) and verify again.")
   in
   let shards =
     Arg.(
@@ -458,7 +473,9 @@ let check_cmd =
     Arg.(
       value & opt int 0
       & info [ "crash2" ]
-          ~doc:"With --recovery --leg: boundary cut inside that recovery leg (0 = none).")
+          ~doc:
+            "With --recovery --leg: boundary cut inside that recovery leg (0 = none). \
+             With --batch: second power cut, counted after the first recovery.")
   in
   let crash3 =
     Arg.(
@@ -497,13 +514,30 @@ let check_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at shards shard_count media media_faults media_seed media_seeds evict_frac
-      evict_seed recovery leg crash2 crash3 rec_seeds daemons daemon_seed fault_rate
-      verbose =
+      crash_at batch shards shard_count media media_faults media_seed media_seeds
+      evict_frac evict_seed recovery leg crash2 crash3 rec_seeds daemons daemon_seed
+      fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
     let txs_or d = Option.value txs ~default:d in
-    if shards then begin
+    if batch then begin
+      match
+        Check.check_batch ~fault
+          ~txs:(txs_or Check.default_batch_txs)
+          ~log ?only_crash:(opt crash_at) ?only_crash2:(opt crash2) ()
+      with
+      | Check.Batch_pass { runs; boundaries } ->
+        Printf.printf "batch campaign: PASS (%d runs, %d persist boundaries cut)\n" runs
+          boundaries;
+        `Ok ()
+      | Check.Batch_fail bt ->
+        Printf.printf "batch campaign: FAIL: %s\n  replay: %s\n" bt.Check.bt_reason
+          (Check.batch_replay_line bt);
+        `Error (false, "batch-boundary crash check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if shards then begin
       match
         Check.check_shards ~fault ~nshards:shard_count
           ~txs:(txs_or Check.default_shard_txs) ~log ?only_crash:(opt crash_at) ()
@@ -659,11 +693,14 @@ let check_cmd =
           deep) must converge to the uninterrupted recovery.  With --daemons, a \
           fault-injection sweep over supervised pipeline daemons.  With --shards, a \
           sharded cross-commit campaign: power cuts during cross-shard transfers must \
-          leave every transfer all-or-nothing under the recovery vote.")
+          leave every transfer all-or-nothing under the recovery vote.  With --batch, \
+          a batch-boundary campaign: power cuts at every boundary of the pipelined \
+          group commit (including mid-pipeline) and re-crashed recoveries must \
+          preserve exactly the acknowledged durable prefix.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
-       $ sched_seeds $ mutate $ sched $ crash_at $ shards $ shard_count $ media
+       $ sched_seeds $ mutate $ sched $ crash_at $ batch $ shards $ shard_count $ media
        $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
        $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
        $ verbose))

@@ -56,6 +56,7 @@ let fault_suffix = function
   | Config.Skip_crc_verify -> "+skip-crc-verify"
   | Config.Skip_recovery_journal -> "+skip-recovery-journal"
   | Config.Skip_fragment_gate -> "+skip-fragment-gate"
+  | Config.Skip_batch_seal -> "+skip-batch-seal"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -1518,3 +1519,251 @@ let check_shards ?(fault = Config.No_fault) ?(nshards = default_shard_count)
       match !result with
       | Some f -> f
       | None -> Shard_pass { runs = !runs; boundaries = total })
+
+(* ------------------------------------------------------------------ *)
+(* Batch-boundary crash campaign (pipelined group commit)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch campaign drives the *combined* persist path — the combiner /
+   flusher pipeline — with small groups and a short deadline, so a run of
+   a few dozen transactions crosses many sealed-batch boundaries, and cuts
+   power at every persist boundary the devices see.  Because the combiner
+   seals batch [k+1] while the flusher's record for batch [k] is still in
+   flight, the sweep necessarily lands cuts mid-pipeline: after a seal but
+   before the matching NVM append.  The [Skip_batch_seal] mutant publishes
+   durability at seal time, so exactly those cuts expose it.
+
+   The two-deep leg re-crashes a recovery: cut at boundary [k1], attach,
+   keep committing on the recovered engine, cut again at boundary [k2] of
+   the second life, attach again.  A recovery that mends the torn batch by
+   writing state it never re-fences would survive the first cut and lose
+   data at the second. *)
+
+type batch_failure = {
+  bt_fault : Config.fault;
+  bt_txs : int;
+  bt_crash : int option;  (* first power cut (persist boundary) *)
+  bt_crash2 : int option;  (* second cut, counted after recovery *)
+  bt_reason : string;
+}
+
+type batch_report =
+  | Batch_pass of { runs : int; boundaries : int }
+  | Batch_fail of batch_failure
+
+let batch_replay_line bt =
+  Printf.sprintf "dudetm check --batch%s --txs %d%s%s"
+    (match bt.bt_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    bt.bt_txs
+    (match bt.bt_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+    (match bt.bt_crash2 with None -> "" | Some k -> Printf.sprintf " --crash2 %d" k)
+
+let default_batch_txs = 12
+
+let batch_sites_budget = shard_sites_budget
+
+(* Small groups, a short deadline and a tiny adaptive bound: every few
+   transactions seal a batch, so deadline-, size- and drain-triggered
+   batches all occur within one short run. *)
+let batch_cfg ~fault =
+  {
+    (dude_cfg ~combine:true ~fault) with
+    Config.group_size = 4;
+    batch_min_entries = 2;
+    batch_max_entries = 16;
+    batch_deadline = 512;
+  }
+
+(* One life of the engine: run [txs] transactions per thread of the
+   [counter] workload on [p], cutting power at the [crash]-th persist
+   boundary.  Samples the durable watermark at every boundary (exactly
+   what was acknowledged when the power went out) and checks it never
+   regresses.  Returns (verdict-so-far, sites, acked, crashed). *)
+let batch_leg ~(wl : workload) ~txs ~crash (p : Ptm.t) nvm =
+  let sites = ref 0 in
+  let acked = ref 0 in
+  let last_d = ref 0 in
+  let err = ref None in
+  Nvm.set_persist_hook nvm
+    (Some
+       (fun () ->
+         incr sites;
+         let d = p.Ptm.durable_id () in
+         if d < !last_d && !err = None then
+           err := Some (Printf.sprintf "durable id regressed from %d to %d" !last_d d);
+         if d > !last_d then last_d := d;
+         if d > !acked then acked := d;
+         match crash with Some k when !sites = k -> raise Crash_now | _ -> ()));
+  let crashed = ref false in
+  let committed = ref 0 in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            p.Ptm.start ();
+            let done_workers = ref 0 in
+            for th = 0 to wl.threads - 1 do
+              ignore
+                (Sched.spawn (Printf.sprintf "batch-worker-%d" th) (fun () ->
+                     for _ = 1 to txs do
+                       match p.Ptm.atomically ~thread:th wl.tx_body with
+                       | Some ((), tid) -> if tid > 0 then incr committed
+                       | None -> ()
+                     done;
+                     incr done_workers))
+            done;
+            Sched.wait_until ~label:"batch workers done" (fun () ->
+                !done_workers = wl.threads);
+            p.Ptm.drain ();
+            p.Ptm.stop ()))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> err := Some ("deadlock: " ^ msg)
+  | e -> err := Some ("engine raised " ^ Printexc.to_string e));
+  let d = p.Ptm.durable_id () in
+  if d > !acked then acked := d;
+  Nvm.set_persist_hook nvm None;
+  (!err, !sites, !acked, !crashed, !committed)
+
+(* Durable-prefix oracle after an attach: the recovered counter is a
+   commit count [k]; nothing acknowledged may be missing, recovery's own
+   durable report must match the data image, and every slot must hold the
+   last write the first [k] transactions made to it ([slot_check]). *)
+let batch_oracle ~(wl : workload) ~acked ~quiescent ~committed ~durable
+    ~(peek : int -> int64) =
+  let k = Int64.to_int (peek wl.wl_root) in
+  if k < 0 then Some (Printf.sprintf "recovered counter is negative: %d" k)
+  else if k < acked then
+    Some
+      (Printf.sprintf
+         "durability lost: durable id %d was acknowledged, recovery found only %d" acked k)
+  else
+    match durable with
+    | Some d when d <> k ->
+      Some
+        (Printf.sprintf "recovery reports durable id %d but the data image shows %d" d k)
+    | _ ->
+      if quiescent && k <> committed then
+        Some
+          (Printf.sprintf "quiescent stop lost transactions: committed %d, recovered %d"
+             committed k)
+      else wl.check_state ~peek ~k
+
+(* One full batch-campaign run: first life, attach, optional second life,
+   attach again.  [crash = None] is the clean-engine control (runs to
+   quiescence, then loses power).  Returns (verdict, boundaries of the
+   first life, boundaries of the second life). *)
+let batch_run ~fault ~txs ~crash ~crash2 =
+  let cfg = batch_cfg ~fault in
+  let wl = counter ~threads:cfg.Config.nthreads ~txs in
+  let p, _t = Dude_ptm.Stm.ptm cfg in
+  let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+  let err1, sites1, acked1, crashed1, committed1 = batch_leg ~wl ~txs ~crash p nvm in
+  match err1 with
+  | Some reason -> (Some reason, sites1, 0)
+  | None -> (
+    Nvm.crash nvm;
+    match Dude_ptm.Stm.attach_ptm cfg nvm with
+    | exception e -> (Some ("recovery raised " ^ Printexc.to_string e), sites1, 0)
+    | p2, _t2, report -> (
+      let verdict1 =
+        batch_oracle ~wl ~acked:acked1 ~quiescent:(not crashed1) ~committed:committed1
+          ~durable:(Some report.Dudetm.durable) ~peek:p2.Ptm.peek
+      in
+      match verdict1 with
+      | Some reason -> (Some reason, sites1, 0)
+      | None ->
+        if not crashed1 then (None, sites1, 0)
+        else begin
+          (* Second life: the recovered engine must itself survive a cut. *)
+          let err2, sites2, acked2, crashed2, committed2 =
+            batch_leg ~wl ~txs ~crash:crash2 p2 nvm
+          in
+          match err2 with
+          | Some reason -> (Some reason, sites1, sites2)
+          | None -> (
+            Nvm.crash nvm;
+            match Dude_ptm.Stm.attach_ptm cfg nvm with
+            | exception e -> (Some ("re-recovery raised " ^ Printexc.to_string e), sites1, sites2)
+            | p3, _t3, report2 ->
+              ( batch_oracle ~wl ~acked:acked2 ~quiescent:(not crashed2)
+                  ~committed:(report.Dudetm.durable + committed2)
+                  ~durable:(Some report2.Dudetm.durable) ~peek:p3.Ptm.peek,
+                sites1,
+                sites2 ))
+        end))
+
+let check_batch ?(fault = Config.No_fault) ?(txs = default_batch_txs)
+    ?(log = fun _ -> ()) ?only_crash ?only_crash2 () =
+  let fail ~crash ~crash2 reason =
+    Batch_fail
+      { bt_fault = fault; bt_txs = txs; bt_crash = crash; bt_crash2 = crash2;
+        bt_reason = reason }
+  in
+  match only_crash with
+  | Some k -> (
+    match batch_run ~fault ~txs ~crash:(Some k) ~crash2:only_crash2 with
+    | Some reason, _, _ -> fail ~crash:(Some k) ~crash2:only_crash2 reason
+    | None, s1, s2 -> Batch_pass { runs = 1; boundaries = s1 + s2 })
+  | None -> (
+    log (Printf.sprintf "batch: pipelined combine, %d txs x %d threads, clean run" txs
+           (batch_cfg ~fault).Config.nthreads);
+    match batch_run ~fault ~txs ~crash:None ~crash2:None with
+    | Some reason, _, _ -> fail ~crash:None ~crash2:None reason
+    | None, total, _ ->
+      let budget = batch_sites_budget () in
+      let runs = ref 1 in
+      let result = ref None in
+      (* Single-cut sweep: every boundary when the budget covers them,
+         otherwise an evenly-spread ascending sample. *)
+      let picks =
+        if total <= budget then List.init total (fun i -> i + 1)
+        else List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+      in
+      log
+        (Printf.sprintf "batch: %d persist boundaries, cutting power at %d of them" total
+           (List.length picks));
+      List.iter
+        (fun k ->
+          if !result = None then begin
+            incr runs;
+            match batch_run ~fault ~txs ~crash:(Some k) ~crash2:None with
+            | Some reason, _, _ -> result := Some (fail ~crash:(Some k) ~crash2:None reason)
+            | None, _, _ -> ()
+          end)
+        picks;
+      (* Two-deep sweep: re-crash the recovered engine.  A handful of
+         first cuts, each probed at a spread of second-life boundaries. *)
+      if !result = None then begin
+        let n1 = max 3 (budget / 15) in
+        let firsts = sample_sites ~s:total ~n:n1 in
+        log
+          (Printf.sprintf "batch: two-deep, re-crashing recovery after %d first cuts"
+             (List.length firsts));
+        List.iter
+          (fun k1 ->
+            if !result = None then begin
+              incr runs;
+              match batch_run ~fault ~txs ~crash:(Some k1) ~crash2:None with
+              | Some reason, _, _ ->
+                result := Some (fail ~crash:(Some k1) ~crash2:None reason)
+              | None, _, total2 ->
+                List.iter
+                  (fun k2 ->
+                    if !result = None then begin
+                      incr runs;
+                      match batch_run ~fault ~txs ~crash:(Some k1) ~crash2:(Some k2) with
+                      | Some reason, _, _ ->
+                        result := Some (fail ~crash:(Some k1) ~crash2:(Some k2) reason)
+                      | None, _, _ -> ()
+                    end)
+                  (sample_sites ~s:total2 ~n:(max 3 (budget / 15)))
+            end)
+          firsts
+      end;
+      match !result with
+      | Some f -> f
+      | None -> Batch_pass { runs = !runs; boundaries = total })

@@ -420,3 +420,59 @@ val check_shards :
     scaled by [DUDETM_CHECK_BUDGET] / [DUDETM_CHECK_DEEP] — covers the
     count, an evenly-spread ascending sample otherwise).  [only_crash]
     replays exactly one boundary instead. *)
+
+(** {1 Batch-boundary crash campaign}
+
+    [dudetm check --batch] drives the {e pipelined combined} persist path
+    — the combiner/flusher two-stage group commit — with small groups and
+    a short deadline, and cuts power at every persist boundary of a short
+    multi-threaded counter run.  Because the combiner seals batch [k+1]
+    while the flusher's record for batch [k] is still in flight, the
+    sweep necessarily lands cuts {e mid-pipeline}: after a seal but
+    before the matching NVM append.  The oracle is the durable prefix:
+    the recovered commit count covers everything the durable watermark
+    ever acknowledged, recovery's reported durable ID matches the data
+    image, and every slot holds the last write the recovered prefix made
+    to it (last-write-per-key).
+
+    The two-deep leg re-crashes a recovery: cut at boundary [k1], attach,
+    keep committing on the recovered engine, cut again at boundary [k2]
+    of the second life, attach again, re-verify.
+
+    The campaign validates itself against the seeded
+    {!Dudetm_core.Config.Skip_batch_seal} mutant, which publishes
+    durability when a batch is sealed instead of when its record is
+    appended and fenced. *)
+
+type batch_failure = {
+  bt_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  bt_txs : int;  (** transactions per thread, per life *)
+  bt_crash : int option;
+      (** failing persist boundary; [None]: the clean quiescent run *)
+  bt_crash2 : int option;
+      (** second cut (boundaries counted after the first recovery) *)
+  bt_reason : string;
+}
+
+type batch_report =
+  | Batch_pass of { runs : int; boundaries : int }
+  | Batch_fail of batch_failure
+
+val batch_replay_line : batch_failure -> string
+(** The replayable [dudetm check --batch ...] one-liner. *)
+
+val default_batch_txs : int
+
+val check_batch :
+  ?fault:Dudetm_core.Config.fault ->
+  ?txs:int ->
+  ?log:(string -> unit) ->
+  ?only_crash:int ->
+  ?only_crash2:int ->
+  unit ->
+  batch_report
+(** Run the campaign: a clean pipelined run counts persist boundaries,
+    then a single-cut sweep over them, then the two-deep re-crash sweep —
+    all bounded by the [DUDETM_CHECK_BUDGET]-scaled site budget.
+    [only_crash] (optionally with [only_crash2]) replays exactly one
+    case instead. *)

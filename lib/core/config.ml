@@ -7,6 +7,7 @@ type fault =
   | Skip_crc_verify
   | Skip_recovery_journal
   | Skip_fragment_gate
+  | Skip_batch_seal
 
 exception Invalid_config of string
 
@@ -30,6 +31,9 @@ type t = {
   combine : bool;
   compress : bool;
   persist_threads : int;
+  batch_min_entries : int;
+  batch_max_entries : int;
+  batch_deadline : int;
   reproduce_batch : int;
   checkpoint_records : int;
   tm_costs : Dudetm_tm.Tm_intf.costs;
@@ -66,6 +70,9 @@ let default =
     combine = false;
     compress = false;
     persist_threads = 1;
+    batch_min_entries = 16;
+    batch_max_entries = 128;
+    batch_deadline = 4000;
     reproduce_batch = 64;
     checkpoint_records = 8;
     tm_costs = Dudetm_tm.Tm_intf.default_costs;
@@ -140,6 +147,12 @@ let validate t =
   if t.combine && t.persist_threads <> 1 then
     fail "cross-transaction combination requires a single persist thread";
   if (not t.combine) && t.compress then fail "compression requires combination";
+  if t.batch_min_entries < 1 then fail "batch_min_entries < 1";
+  if t.batch_max_entries < t.batch_min_entries then
+    fail "batch_max_entries below batch_min_entries";
+  if t.batch_deadline < 1 then fail "batch_deadline < 1";
+  if t.fault = Skip_batch_seal && not t.combine then
+    fail "Skip_batch_seal seeds a bug in the pipelined (combine) persist path";
   if t.reproduce_batch < 1 then fail "reproduce_batch < 1";
   if t.checkpoint_records < 1 then fail "checkpoint_records < 1";
   let line = t.pmem.Dudetm_nvm.Pmem_config.line_size in

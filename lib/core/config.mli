@@ -55,6 +55,14 @@ type fault =
           their shards: a crash in the window can leave a partial
           cross-shard transaction surviving recovery.  Validates the
           sharded crash campaign ([dudetm check --shards]). *)
+  | Skip_batch_seal
+      (** The pipelined Persist stage publishes a batch's durable IDs when
+          the batch is {e sealed} (combined, CRC'd and queued for flushing)
+          instead of when its log record's NVM persist completes: a
+          mid-pipeline crash — batch [k] durable, batch [k+1]
+          sealed-but-unflushed — loses acknowledged transactions.
+          Validates the batch-boundary campaign ([dudetm check --batch]).
+          Requires [combine]. *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
@@ -71,6 +79,17 @@ type t = {
   combine : bool;  (** cross-transaction write combination *)
   compress : bool;  (** LZ-compress combined groups before flushing *)
   persist_threads : int;
+  batch_min_entries : int;
+      (** floor of the adaptive per-record entry bound: the Persist daemon
+          never waits for fewer entries than this before the deadline *)
+  batch_max_entries : int;
+      (** hard cap on entries per persisted log record; bounds both the
+          single-flush channel occupancy (the commit-latency tail) and the
+          volatile state lost by a crash mid-batch *)
+  batch_deadline : int;
+      (** max simulated cycles an open batch may age before it is flushed
+          regardless of size; group commit never delays a transaction's
+          durability by more than this *)
   reproduce_batch : int;  (** transactions applied per reproduce round *)
   checkpoint_records : int;  (** checkpoint + recycle every N completed log records *)
   tm_costs : Dudetm_tm.Tm_intf.costs;

@@ -47,6 +47,17 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     last_of_record : bool;
   }
 
+  (* A sealed-but-unflushed batch in the pipelined (combined) persist
+     path: the combiner has merged, combined and encoded it; the flusher
+     still has to write it to NVM.  Lives in [t] so a combiner restart
+     never re-seals (or drops) a batch already handed to the flusher. *)
+  type prepared_batch = {
+    pb_lo : int;
+    pb_hi : int;
+    pb_entries : Log_entry.t list;  (* combined, end marks included *)
+    pb_payload : bytes;
+  }
+
   type t = {
     cfg : Config.t;
     nvm : Nvm.t;
@@ -75,6 +86,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
        and reproduced-but-unpersisted dirty ranges all survive. *)
     staging : (int, Log_entry.t list) Hashtbl.t;  (* combined persist: tid -> body *)
     mutable next_flush : int;  (* combined persist: next group's first tid *)
+    prepared : prepared_batch Queue.t;  (* sealed batches awaiting NVM flush *)
+    mutable combiner_done : bool;  (* combiner exited; flusher may too *)
+    mutable flush_started_at : int;  (* ts of the in-flight NVM flush; -1 idle *)
+    batch_open_at : int array;  (* per vlog: ts the open batch started; -1 *)
+    mutable staged_open_at : int;  (* combined: ts oldest staged tx arrived; -1 *)
+    mutable batch_bound : int;  (* adaptive entries-per-record bound *)
+    mutable batch_ewma : float;  (* smoothed backlog-at-flush estimate *)
+    mutable durable_waiters : int;  (* threads blocked in [wait_durable] *)
+    mutable drain_pace : float;  (* measured NVM drain cost, cycles/entry *)
     repro_ranges : (int * int) list ref;  (* applied but not yet persisted *)
     (* Cross-shard replay gate, installed by the sharding layer: Reproduce
        may apply transaction [tid] only once the gate admits it (all
@@ -154,6 +174,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       pending_recycle = [];
       staging = Hashtbl.create 1024;
       next_flush = tid_base + 1;
+      prepared = Queue.create ();
+      combiner_done = false;
+      flush_started_at = -1;
+      batch_open_at = Array.make cfg.Config.nthreads (-1);
+      staged_open_at = -1;
+      batch_bound = cfg.Config.batch_max_entries;
+      batch_ewma = float_of_int cfg.Config.batch_max_entries;
+      durable_waiters = 0;
+      drain_pace = 0.0;
       repro_ranges = ref [];
       cross_gate = None;
       cross_frontier = 0;
@@ -267,8 +296,16 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let last_tid t = t.tid_base + Tm.last_tid t.tm
 
+  (* Advertise the wait: a Persist daemon holding an open batch for the
+     group-commit deadline flushes immediately while anyone is blocked
+     here, so batching never adds latency to a durability-bound caller. *)
   let wait_durable t tid =
-    Sched.wait_until ~label:"durable id" (fun () -> t.durable >= tid)
+    if t.durable < tid then begin
+      t.durable_waiters <- t.durable_waiters + 1;
+      Fun.protect
+        ~finally:(fun () -> t.durable_waiters <- t.durable_waiters - 1)
+        (fun () -> Sched.wait_until ~label:"durable id" (fun () -> t.durable >= tid))
+    end
 
   let set_cross_gate t gate = t.cross_gate <- gate
 
@@ -302,6 +339,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
      sharding layer has registered its sibling set. *)
   let can_apply t =
     t.durable > applied t
+    (* Under the Skip_batch_seal mutant the durable ID runs ahead of the
+       flushed records, so the "durable implies queued" invariant that
+       [pop_next_item] asserts does not hold; wait for the item instead of
+       crashing the daemon — the campaign must catch the mutant as a
+       durability violation at a power cut, not as an engine exception. *)
+    && (t.cfg.Config.fault <> Config.Skip_batch_seal || peek_next_item t <> None)
     && (match t.cross_gate with
        | Some gate when t.cfg.Config.fault <> Config.Skip_fragment_gate -> (
          match peek_next_item t with
@@ -346,11 +389,46 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           t.queues.(region))
       groups
 
-  let max_flush_entries = 4096
+  (* ------------------------------------------------------------------ *)
+  (* Bounded adaptive group commit                                       *)
+  (*                                                                     *)
+  (* Instead of draining the whole backlog into one record (whose NVM     *)
+  (* transfer then occupies the channel for the entire backlog's bytes —  *)
+  (* the 150x commit-latency tail), the Persist daemons cut records at a  *)
+  (* bounded number of entries and flush a batch when it reaches the      *)
+  (* bound OR when it has aged past [batch_deadline], whichever first.    *)
+  (* The bound adapts to the recent arrival rate: an EWMA of the backlog  *)
+  (* observed at each flush, clamped to [batch_min, batch_max], so light  *)
+  (* load gets small low-latency batches and heavy load amortizes the     *)
+  (* per-record overhead without ever exceeding the cap.                  *)
+  (* ------------------------------------------------------------------ *)
+
+  let batch_cap t = max 1 (min t.batch_bound t.cfg.Config.batch_max_entries)
+
+  (* Fold one observed backlog into the adaptive bound. *)
+  let note_batch_fill t pending =
+    let alpha = 0.25 in
+    t.batch_ewma <- ((1.0 -. alpha) *. t.batch_ewma) +. (alpha *. float_of_int pending);
+    let b = int_of_float (ceil t.batch_ewma) in
+    t.batch_bound <-
+      max t.cfg.Config.batch_min_entries (min b t.cfg.Config.batch_max_entries);
+    stat_max t.stats "batch_bound_hwm" t.batch_bound
+
+  (* Fold one NVM record write into the measured drain rate (cycles per
+     log entry, wall time at the channel including contention).  Admission
+     pacing uses this to charge producers the real cost of the backlog
+     they create. *)
+  let note_drain_pace t ~entries ~cycles =
+    if entries > 0 && cycles >= 0 then begin
+      let per = float_of_int cycles /. float_of_int entries in
+      t.drain_pace <-
+        (if t.drain_pace <= 0.0 then per
+         else (0.75 *. t.drain_pace) +. (0.25 *. per))
+    end
 
   (* Flush the longest prefix of whole transactions from thread [i]'s
-     volatile log that fits the entry cap and the persistent ring's free
-     space.  Returns true if a record was written. *)
+     volatile log that fits the adaptive entry bound and the persistent
+     ring's free space.  Returns true if a record was written. *)
   let flush_thread t i ~wait_space =
     let vlog = t.vlogs.(i) in
     let plog = t.plogs.(i) in
@@ -362,6 +440,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       let budget () = Plog.free_space plog - Plog.record_overhead - 1 in
       (* Find the cut: last tx boundary within the entry cap and byte
          budget, but always at least one whole transaction. *)
+      let cap = batch_cap t in
       let find_cut bytes_avail =
         let pos = ref hd and cut = ref hd and size = ref 0 and n = ref 0 in
         let first_tx_done = ref false in
@@ -369,7 +448,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
            while !pos < cm do
              let e = Vlog.get vlog !pos in
              let sz = Log_entry.encoded_size e in
-             if !first_tx_done && (!n >= max_flush_entries || !size + sz > bytes_avail) then
+             if !first_tx_done && (!n >= cap || !size + sz > bytes_avail) then
                raise Exit;
              size := !size + sz;
              incr n;
@@ -407,22 +486,30 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       if budget () < need1 then false
       else
         (* The Fun.protect-based [Trace.span] keeps the trace balanced even
-           when the scheduler kills this daemon mid-flush. *)
-        Trace.span ~cat:"persist" "flush" (fun () ->
+           when the scheduler kills this daemon mid-flush.  [persist.batch]
+           covers the whole unit (cut, CPU work, NVM write, bookkeeping);
+           the inner [persist.flush] isolates the NVM record write. *)
+        Trace.span ~cat:"persist" "batch" (fun () ->
             let cut = find_cut (budget ()) in
             assert (cut > hd);
             let entries = List.init (cut - hd) (fun k -> Vlog.get vlog (hd + k)) in
             let tids = Log_entry.tids entries in
+            stat_max t.stats "batch_hwm_entries" (List.length entries);
             Sched.advance (t.cfg.Config.flush_cost_per_entry * List.length entries);
             let payload = Log_entry.encode_payload entries in
             (* Seeded mutant (checker self-test only): skip the record's persist
                fence, so the durable ID published below covers a record still
                sitting in the cache — a crash loses transactions the
                application already acknowledged. *)
+            let t_io = Sched.now () in
             let record =
-              Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish) plog
-                payload
+              Trace.span ~cat:"persist" "flush" (fun () ->
+                  Plog.append
+                    ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
+                    plog payload)
             in
+            note_drain_pace t ~entries:(List.length entries)
+              ~cycles:(Sched.now () - t_io);
             Stats.incr t.stats "flush_records";
             Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
             stat_max t.stats "plog_hwm_bytes" (Plog.used_space plog);
@@ -438,33 +525,110 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         (fun i -> i mod t.cfg.Config.persist_threads = p)
         (List.init t.cfg.Config.nthreads (fun i -> i))
     in
-    let has_data i = Vlog.committed t.vlogs.(i) > Vlog.head t.vlogs.(i) in
+    let pending i = Vlog.committed t.vlogs.(i) - Vlog.head t.vlogs.(i) in
+    let has_data i = pending i > 0 in
+    let deadline = t.cfg.Config.batch_deadline in
+    (* Deadline aging polls by advancing simulated time: a time-based
+       [wait_until] predicate would deadlock the scheduler once every
+       other thread blocks (nothing else advances the clock). *)
+    let poll_step = max 1 (deadline / 4) in
     let rec loop () =
       maybe_fault t "persist";
-      let did =
-        List.fold_left (fun acc i -> flush_thread t i ~wait_space:false || acc) false mine
+      let now = Sched.now () in
+      List.iter
+        (fun i ->
+          if has_data i then begin
+            if t.batch_open_at.(i) < 0 then t.batch_open_at.(i) <- now
+          end
+          else t.batch_open_at.(i) <- -1)
+        mine;
+      (* Flush an undersized batch immediately when somebody is blocked on
+         durability or the run is winding down; otherwise hold it for the
+         size bound or the deadline. *)
+      let urgent = t.durable_waiters > 0 || t.draining || t.stop_flag in
+      let ripe i =
+        has_data i
+        && (pending i >= batch_cap t || urgent
+           || (t.batch_open_at.(i) >= 0 && now - t.batch_open_at.(i) >= deadline))
       in
-      if t.stop_flag && not (List.exists has_data mine) then ()
-      else begin
-        if not did then
-          Sched.wait_until ~label:"persist: waiting for logs" (fun () ->
-              t.stop_flag
-              || List.exists
-                   (fun i ->
-                     has_data i
-                     && Plog.free_space t.plogs.(i) > Plog.record_overhead + 64)
-                   mine);
+      (* Fullest vlog first: the producer closest to blocking on a full
+         ring is served before lightly loaded ones, which is what converts
+         the old drain-everything latency spike into a bounded wait.  A
+         ripe vlog whose persistent ring is full (recycle pending) must
+         not stall the others: fall through to the next-fullest ripe vlog
+         and only wait when none can make progress. *)
+      let ripe_by_fill =
+        List.sort
+          (fun a b -> compare (pending b) (pending a))
+          (List.filter ripe mine)
+      in
+      let flushed =
+        List.fold_left
+          (fun done_ i ->
+            match done_ with
+            | Some _ -> done_
+            | None ->
+              let n = pending i in
+              if flush_thread t i ~wait_space:false then begin
+                Stats.incr t.stats
+                  (if n >= batch_cap t then "batch_size_flushes"
+                   else if urgent then "batch_drain_flushes"
+                   else "batch_deadline_flushes");
+                note_batch_fill t n;
+                Some i
+              end
+              else None)
+          None ripe_by_fill
+      in
+      match flushed with
+      | Some i ->
+        t.batch_open_at.(i) <- (if has_data i then Sched.now () else -1);
         Sched.yield ();
         loop ()
-      end
+      | None when ripe_by_fill <> [] ->
+        (* Every ripe vlog's ring is full: poll by advancing so Reproduce
+           gets simulated time to checkpoint and recycle (a predicate wait
+           here could spin without advancing the clock). *)
+        Sched.advance poll_step;
+        loop ()
+      | None ->
+        if t.stop_flag && not (List.exists has_data mine) then ()
+        else if List.exists has_data mine then begin
+          (* An open batch below the bound: age it toward the deadline. *)
+          Sched.advance poll_step;
+          loop ()
+        end
+        else begin
+          Sched.wait_until ~label:"persist: waiting for logs" (fun () ->
+              t.stop_flag || List.exists has_data mine);
+          Sched.yield ();
+          loop ()
+        end
     in
     loop ()
 
-  (* Combined mode: one persist thread merges all volatile logs into
-     groups of [group_size] transactions in global ID order, combines and
-     optionally compresses each group, and writes it to ring 0. *)
+  (* Combined mode is a two-stage pipeline over two daemons:
+
+       combiner ("persist-0")      merges all volatile logs into batches of
+                                   up to [group_size] transactions in
+                                   global ID order, combines (and
+                                   optionally compresses) each batch and
+                                   seals it onto [t.prepared];
+       flusher  ("persist-flush")  pops sealed batches and writes each as
+                                   one record to ring 0, publishing the
+                                   durable IDs when the persist completes.
+
+     The combiner's CPU work on batch [k+1] (merge, last-write-wins
+     combine, CRC/encode, compression) genuinely overlaps batch [k]'s NVM
+     channel occupancy because the two stages run on different simulated
+     threads.  [t.prepared] is bounded: a deep pipeline would only grow
+     the window of sealed-but-unflushed (hence volatile) acknowledged-by
+     -nobody work without adding overlap. *)
+  let max_prepared = 2
+
   let persist_combined_loop t =
     let staging = t.staging in
+    let builder = Combine.builder () in
     let drain_vlogs () =
       Array.iter
         (fun vlog ->
@@ -488,23 +652,26 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       done;
       !n
     in
-    let flush_group take =
-      Trace.span ~cat:"persist" "flush_group" (fun () ->
+    let seal_batch take =
+      Trace.span ~cat:"persist" "batch" (fun () ->
           let lo = t.next_flush in
           let hi = lo + take - 1 in
-          let group =
-            List.concat_map
-              (fun tid ->
-                let es = Hashtbl.find staging tid in
-                es @ [ Log_entry.Tx_end { tid } ])
-              (List.init take (fun k -> lo + k))
+          let overlapping = t.flush_started_at >= 0 in
+          let combined, cstats =
+            Trace.span ~cat:"persist" "combine" (fun () ->
+                List.iter
+                  (fun tid ->
+                    Combine.feed_list builder (Hashtbl.find staging tid);
+                    Combine.feed builder (Log_entry.Tx_end { tid }))
+                  (List.init take (fun k -> lo + k));
+                let r = Combine.seal builder in
+                Sched.advance
+                  (t.cfg.Config.flush_cost_per_entry * (snd r).Combine.entries_in);
+                r)
           in
-          let combined, cstats = Combine.combine group in
           Stats.add t.stats "combine_writes_in" cstats.Combine.writes_in;
           Stats.add t.stats "combine_writes_out" cstats.Combine.writes_out;
-          Trace.sample ~cat:"persist" "combine"
-            (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
-          Sched.advance (t.cfg.Config.flush_cost_per_entry * cstats.Combine.entries_in);
+          stat_max t.stats "batch_hwm_entries" cstats.Combine.entries_in;
           let payload =
             if t.cfg.Config.compress then
               Trace.span ~cat:"persist" "compress" (fun () ->
@@ -522,50 +689,128 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           let need = Plog.record_overhead + Bytes.length payload in
           if need > Plog.data_capacity t.plogs.(0) then
             invalid_arg "Dudetm: combined group exceeds the persistent log ring";
-          Sched.wait_until ~label:"plog space (combined)" (fun () ->
-              Plog.free_space t.plogs.(0) >= need);
-          let record =
-            Plog.append ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
-              t.plogs.(0) payload
-          in
-          Stats.incr t.stats "flush_records";
-          Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
-          stat_max t.stats "plog_hwm_bytes" (Plog.used_space t.plogs.(0));
+          (* This seal ran while the flusher held the channel: the cycles
+             spent combining were hidden behind batch [k]'s transfer. *)
+          if overlapping && t.flush_started_at >= 0 then begin
+            let hidden = Sched.now () - t.flush_started_at in
+            if hidden > 0 then begin
+              Stats.add t.stats "pipe_overlap_cycles" hidden;
+              Trace.instant ~cat:"persist" "pipe_overlap" hidden
+            end
+          end;
           Queue.push
-            {
-              lo;
-              hi;
-              entries = combined;
-              region = 0;
-              end_off = record.Plog.end_off;
-              rec_next_seq = record.Plog.seq + 1;
-              last_of_record = true;
-            }
-            t.queues.(0);
+            { pb_lo = lo; pb_hi = hi; pb_entries = combined; pb_payload = payload }
+            t.prepared;
           List.iter (fun k -> Hashtbl.remove staging (lo + k)) (List.init take (fun k -> k));
-          note_flushed t (List.init take (fun k -> lo + k));
-          t.next_flush <- hi + 1)
+          (* Seeded mutant (checker self-test only): acknowledge the batch
+             at seal time — its record has not reached NVM, so a crash in
+             the pipeline window loses acknowledged transactions. *)
+          if t.cfg.Config.fault = Config.Skip_batch_seal then
+            note_flushed t (List.init take (fun k -> lo + k));
+          t.next_flush <- hi + 1;
+          t.staged_open_at <- -1)
     in
+    let deadline = t.cfg.Config.batch_deadline in
+    let poll_step = max 1 (deadline / 4) in
     let rec loop () =
       maybe_fault t "persist";
       drain_vlogs ();
       let avail = contiguous () in
-      if avail >= t.cfg.Config.group_size then begin
-        flush_group t.cfg.Config.group_size;
+      let now = Sched.now () in
+      if avail > 0 then begin
+        if t.staged_open_at < 0 then t.staged_open_at <- now
+      end
+      else t.staged_open_at <- -1;
+      let deadline_hit =
+        avail > 0 && t.staged_open_at >= 0 && now - t.staged_open_at >= deadline
+      in
+      let waiter_hit = avail > 0 && t.durable_waiters > 0 in
+      let tail_hit =
+        (t.draining || t.stop_flag) && avail > 0 && last_tid t < t.next_flush + avail
+      in
+      if Queue.length t.prepared >= max_prepared then begin
+        Sched.wait_until ~label:"persist: pipeline full" (fun () ->
+            Queue.length t.prepared < max_prepared || t.stop_flag);
+        Sched.yield ();
         loop ()
       end
-      else if (t.draining || t.stop_flag) && avail > 0 && last_tid t < t.next_flush + avail
-      then begin
-        (* Tail of the run: no more transactions are coming; flush the
-           remainder as a short group. *)
-        flush_group avail;
+      else if avail >= t.cfg.Config.group_size then begin
+        Stats.incr t.stats "batch_size_flushes";
+        seal_batch t.cfg.Config.group_size;
         loop ()
       end
-      else if t.stop_flag && avail = 0 && Hashtbl.length staging = 0 then ()
+      else if deadline_hit || waiter_hit || tail_hit then begin
+        (* Short batch: the deadline expired, a caller is blocked on
+           durability, or this is the tail of the run. *)
+        Stats.incr t.stats
+          (if tail_hit && not (deadline_hit || waiter_hit) then "batch_drain_flushes"
+           else "batch_deadline_flushes");
+        seal_batch avail;
+        loop ()
+      end
+      else if t.stop_flag && avail = 0 && Hashtbl.length staging = 0 then
+        t.combiner_done <- true
+      else if avail > 0 then begin
+        (* An open batch below the group size: age it toward the deadline
+           by advancing simulated time (a time-based wait_until predicate
+           would deadlock the scheduler). *)
+        Sched.advance poll_step;
+        loop ()
+      end
       else begin
         Sched.wait_until ~label:"persist: waiting for group" (fun () ->
             t.stop_flag || t.draining
             || Array.exists (fun v -> Vlog.committed v > Vlog.head v) t.vlogs);
+        Sched.yield ();
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Pipeline stage 2: write sealed batches to NVM and publish durability
+     per batch.  All in-flight state is the popped batch itself; popping
+     happens after the fault point, so a supervised restart never loses or
+     duplicates a record. *)
+  let persist_flush_loop t =
+    let rec loop () =
+      maybe_fault t "persist-flush";
+      if not (Queue.is_empty t.prepared) then begin
+        let pb = Queue.pop t.prepared in
+        let need = Plog.record_overhead + Bytes.length pb.pb_payload in
+        Sched.wait_until ~label:"plog space (combined)" (fun () ->
+            Plog.free_space t.plogs.(0) >= need);
+        t.flush_started_at <- Sched.now ();
+        let record =
+          Trace.span ~cat:"persist" "flush" (fun () ->
+              Plog.append
+                ~persist:(t.cfg.Config.fault <> Config.Early_durable_publish)
+                t.plogs.(0) pb.pb_payload)
+        in
+        note_drain_pace t ~entries:(List.length pb.pb_entries)
+          ~cycles:(Sched.now () - t.flush_started_at);
+        t.flush_started_at <- -1;
+        Stats.incr t.stats "flush_records";
+        Stats.add t.stats "flush_payload_bytes" (Bytes.length pb.pb_payload);
+        stat_max t.stats "plog_hwm_bytes" (Plog.used_space t.plogs.(0));
+        Queue.push
+          {
+            lo = pb.pb_lo;
+            hi = pb.pb_hi;
+            entries = pb.pb_entries;
+            region = 0;
+            end_off = record.Plog.end_off;
+            rec_next_seq = record.Plog.seq + 1;
+            last_of_record = true;
+          }
+          t.queues.(0);
+        if t.cfg.Config.fault <> Config.Skip_batch_seal then
+          note_flushed t (List.init (pb.pb_hi - pb.pb_lo + 1) (fun k -> pb.pb_lo + k));
+        loop ()
+      end
+      else if t.stop_flag && t.combiner_done then ()
+      else begin
+        Sched.wait_until ~label:"flush: waiting for sealed batch" (fun () ->
+            (not (Queue.is_empty t.prepared)) || (t.stop_flag && t.combiner_done));
         Sched.yield ();
         loop ()
       end
@@ -723,10 +968,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     (match t.cfg.Config.mode with
     | Config.Sync -> ()
     | Config.Async | Config.Inf ->
-      if t.cfg.Config.combine then
+      if t.cfg.Config.combine then begin
         ignore
           (Sched.spawn ~daemon:true "persist-0" (fun () ->
-               supervise t (fun () -> persist_combined_loop t)))
+               supervise t (fun () -> persist_combined_loop t)));
+        ignore
+          (Sched.spawn ~daemon:true "persist-flush" (fun () ->
+               supervise t (fun () -> persist_flush_loop t)))
+      end
       else
         for p = 0 to t.cfg.Config.persist_threads - 1 do
           ignore
@@ -926,9 +1175,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       Stats.incr t.stats "bp_throttle_events";
       Trace.span_begin ~cat:"perform" "bp_throttle";
       (* Advance-based polling, not [wait_until]: see
-         [alloc_with_backpressure]. *)
+         [alloc_with_backpressure].  The step is capped well below
+         budget/32: batched persist and per-batch checkpoints clear ring
+         pressure in thousands of cycles, so a coarse quantum would charge
+         a throttled transaction far more wait than the pressure lasted
+         (the old 62.5k-cycle step WAS the commit-latency tail). *)
       let budget = t.cfg.Config.bp_wait_budget in
-      let step = max 1 (budget / 32) in
+      let step = max 1 (min (budget / 32) 1_000) in
       let elapsed = ref 0 in
       while
         ring_pressure t && (not t.stop_flag) && (not t.draining) && !elapsed < budget
@@ -939,6 +1192,47 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       done;
       Stats.add t.stats "bp_throttle_cycles" !elapsed;
       Trace.span_end ~cat:"perform" "bp_throttle"
+    end
+
+  (* Rate-matched admission pacing.  When this thread's volatile log holds
+     more than a quarter of its capacity, delay the next transaction in
+     proportion to the excess, charged at the drain rate the persist
+     daemons actually measured at the NVM channel.  Under saturation every
+     transaction then pays a small, smooth share of the drain debt instead
+     of a few unlucky ones absorbing the whole backlog in one vlog-full
+     stall — the admission-control half of bounded group commit, and what
+     turns a 150x p99/p50 commit-latency ratio into a single-digit one.
+     Inactive until the first record flush ([drain_pace] = 0) and below
+     the quarter-capacity low-water mark, so unsaturated runs never pay. *)
+  let pace_admission t ~thread =
+    if
+      t.started && (not t.draining) && (not t.stop_flag)
+      && t.cfg.Config.bp_wait_budget > 0
+      && t.cfg.Config.mode <> Config.Sync
+      && t.drain_pace > 0.0 && Sched.running ()
+    then begin
+      let vlog = t.vlogs.(thread) in
+      if not (Vlog.unbounded vlog) then begin
+        (* Pace against the global backlog, not just this thread's vlog:
+           the shared channel drains one vlog at a time, so one log's
+           occupancy sawtooths by a whole batch while the sum across
+           producers moves smoothly — and a smooth signal is what keeps
+           the paced latency distribution tight. *)
+        let n = Array.length t.vlogs in
+        let backlog = Array.fold_left (fun a v -> a + Vlog.length v) 0 t.vlogs in
+        let low = n * Vlog.capacity vlog * 3 / 8 in
+        let over = backlog - low in
+        if over > 0 then begin
+          let delay =
+            int_of_float (float_of_int over *. t.drain_pace /. float_of_int n)
+          in
+          if delay > 0 then begin
+            Stats.incr t.stats "pace_events";
+            Stats.add t.stats "pace_cycles" delay;
+            Sched.advance delay
+          end
+        end
+      end
     end
 
   let atomically_body t ~thread f =
@@ -1016,6 +1310,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     if thread < 0 || thread >= t.cfg.Config.nthreads then
       invalid_arg "Dudetm.atomically: bad thread index";
     throttle_on_pressure t;
+    pace_admission t ~thread;
     Trace.span_begin ~cat:"perform" "tx";
     match atomically_body t ~thread f with
     | r ->

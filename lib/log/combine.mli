@@ -25,3 +25,30 @@ val combine : Log_entry.t list -> Log_entry.t list * stats
     allocation events in original order, then all end marks — plus
     statistics.  Replaying the result atomically is state-equivalent to
     replaying [group]. *)
+
+(** {1 Incremental per-batch combination}
+
+    Group commit feeds committed entries into a builder as they arrive and
+    seals one batch at a time, so the combine work for batch [k+1] can run
+    while batch [k]'s NVM transfer is still in flight.  Sealing drains the
+    builder; the sequence of sealed batches replays (in order) to exactly
+    the state one monolithic [combine] over the concatenation would
+    produce, because last-write-wins within a batch composes with
+    replay-in-order across batches. *)
+
+type builder
+
+val builder : unit -> builder
+(** A fresh builder with an empty open batch. *)
+
+val feed : builder -> Log_entry.t -> unit
+(** Add one entry to the open batch. *)
+
+val feed_list : builder -> Log_entry.t list -> unit
+
+val pending : builder -> int
+(** Entries fed into the open batch since the last {!seal}. *)
+
+val seal : builder -> Log_entry.t list * stats
+(** Close the open batch: returns the same result [combine] would on the
+    fed entries, and resets the builder for the next batch. *)

@@ -55,11 +55,21 @@ let shard_cfg ~workers ~bandwidth ~persist_latency =
   }
 
 let run ?(seed = 42) ?(bandwidth = 0.25) ?(persist_latency = 500) ?(ntxs = 2_000)
-    ?(workers = 8) ?(think = 50) ~nshards ~cross_pct () =
+    ?(workers = 8) ?(think = 50) ?batch_min ?batch_max ?batch_deadline ~nshards
+    ~cross_pct () =
   if nshards < 1 then invalid_arg "Shard_bench.run: nshards must be >= 1";
   if cross_pct < 0 || cross_pct > 100 then
     invalid_arg "Shard_bench.run: cross_pct must be in [0, 100]";
   let cfg = shard_cfg ~workers ~bandwidth ~persist_latency in
+  let cfg =
+    {
+      cfg with
+      Config.batch_min_entries =
+        Option.value batch_min ~default:cfg.Config.batch_min_entries;
+      batch_max_entries = Option.value batch_max ~default:cfg.Config.batch_max_entries;
+      batch_deadline = Option.value batch_deadline ~default:cfg.Config.batch_deadline;
+    }
+  in
   let part = Partition.hashed ~nshards in
   let sh = Sh.create ~nshards cfg in
   let per = ntxs / workers in
@@ -118,6 +128,20 @@ let run ?(seed = 42) ?(bandwidth = 0.25) ?(persist_latency = 500) ?(ntxs = 2_000
          Sh.drain sh;
          stop_ := Sched.now ();
          Sh.stop sh));
+  if Sys.getenv_opt "DUDETM_SB_DEBUG" <> None then
+    for s = 0 to nshards - 1 do
+      let e = Sh.engine sh s in
+      let st = Sh.Engine.stats e in
+      Printf.eprintf "shard %d: producer_blocks=%d" s (Sh.Engine.vlog_producer_blocks e);
+      List.iter
+        (fun k -> Printf.eprintf " %s=%d" k (Stats.get st k))
+        [
+          "bp_throttle_events"; "bp_throttle_cycles"; "flush_records";
+          "batch_size_flushes"; "batch_deadline_flushes"; "batch_drain_flushes";
+          "batch_hwm_entries"; "batch_bound_hwm"; "pace_events"; "pace_cycles";
+        ];
+      Printf.eprintf "\n"
+    done;
   let cycles = !stop_ - !start in
   {
     sb_nshards = nshards;
@@ -134,3 +158,8 @@ let run ?(seed = 42) ?(bandwidth = 0.25) ?(persist_latency = 500) ?(ntxs = 2_000
 let pp_commit_latency r =
   let p q = Stats.Latency.percentile r.sb_commit_latency q in
   Printf.sprintf "p50 %d / p95 %d / p99 %d cyc" (p 50.0) (p 95.0) (p 99.0)
+
+let tail_ratio r =
+  let p q = Stats.Latency.percentile r.sb_commit_latency q in
+  let p50 = p 50.0 in
+  if p50 = 0 then 0.0 else float_of_int (p 99.0) /. float_of_int p50

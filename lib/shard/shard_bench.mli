@@ -31,6 +31,9 @@ val run :
   ?ntxs:int ->
   ?workers:int ->
   ?think:int ->
+  ?batch_min:int ->
+  ?batch_max:int ->
+  ?batch_deadline:int ->
   nshards:int ->
   cross_pct:int ->
   unit ->
@@ -43,5 +46,13 @@ val run :
     [Invalid_argument] on [nshards < 1] or [cross_pct] outside
     [\[0, 100\]]. *)
 
+(** Defaults for the batch knobs come from {!Dudetm_core.Config.default};
+    the persist bench sweeps them to map the batching latency/throughput
+    trade-off. *)
+
 val pp_commit_latency : result -> string
 (** ["p50 %d / p95 %d / p99 %d cyc"]. *)
+
+val tail_ratio : result -> float
+(** Commit-latency p99/p50 — the tail-amplification metric the bounded
+    group commit exists to control (0 when p50 is 0). *)

@@ -365,6 +365,44 @@ let counter_series ~cat name =
         acc := (e.e_ts, e.e_arg) :: !acc);
   List.rev !acc
 
+(* Closed [start, end) intervals reconstructed from the retained ring for
+   one span key, per emitting thread.  Begins whose end fell off the ring
+   (or is still open) are dropped. *)
+let retained_intervals ~cat name =
+  let open_ts : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let acc = ref [] in
+  retained_iter (fun e ->
+      if e.e_cat = cat && e.e_name = name then
+        match e.e_kind with
+        | Ev_begin ->
+          let s =
+            match Hashtbl.find_opt open_ts e.e_tid with
+            | Some s -> s
+            | None ->
+              let s = ref [] in
+              Hashtbl.add open_ts e.e_tid s;
+              s
+          in
+          s := e.e_ts :: !s
+        | Ev_end -> (
+          match Hashtbl.find_opt open_ts e.e_tid with
+          | Some ({ contents = ts0 :: rest } as s) ->
+            s := rest;
+            acc := (e.e_tid, ts0, e.e_ts) :: !acc
+          | _ -> ())
+        | Ev_instant | Ev_counter -> ());
+  !acc
+
+let span_overlap ~cat a b =
+  let ia = retained_intervals ~cat a and ib = retained_intervals ~cat b in
+  List.fold_left
+    (fun acc (ta, sa, ea) ->
+      List.fold_left
+        (fun acc (tb, sb, eb) ->
+          if ta = tb then acc else acc + max 0 (min ea eb - max sa sb))
+        acc ib)
+    0 ia
+
 let events () = st.cursor
 let dropped () = max 0 (st.cursor - Array.length st.ring)
 

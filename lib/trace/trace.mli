@@ -151,6 +151,15 @@ val counter_series : cat:string -> string -> (int * int) list
 (** [(ts, value)] pairs for one counter, oldest first, from the retained
     window of the ring. *)
 
+val span_overlap : cat:string -> string -> string -> int
+(** [span_overlap ~cat a b] — total cycles during which a retained
+    [cat.a] span on one thread runs concurrently with a retained [cat.b]
+    span on a {e different} thread.  Reconstructed from the ring's
+    retained window (spans whose close fell off the ring are ignored).
+    This is how the pipelined persist path proves genuine overlap: the
+    combiner's [persist.combine] of batch [k+1] against the flusher's
+    [persist.flush] of batch [k]. *)
+
 val events : unit -> int
 (** Ring events emitted since {!enable} (including dropped ones). *)
 

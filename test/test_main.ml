@@ -19,6 +19,7 @@ let () =
       ("media", Test_media.suite);
       ("recovery", Test_recovery.suite);
       ("trace", Test_trace.suite);
+      ("batch", Test_batch.suite);
       ("shard", Test_shard.suite);
       ("partition", Test_partition.suite);
       ("differential", Test_differential.suite);
