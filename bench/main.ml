@@ -27,6 +27,7 @@ let experiments scale full =
     ("trace", fun () -> Trace_bench.run ~scale ());
     ("shard", fun () -> Shard_bench.run ~scale ());
     ("persist", fun () -> Persist_bench.run ~scale ());
+    ("replica", fun () -> Replica_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -45,6 +46,7 @@ let bechamel_tests =
     ("trace", Trace_bench.tiny);
     ("shard", Shard_bench.tiny);
     ("persist", Persist_bench.tiny);
+    ("replica", Replica_bench.tiny);
   ]
 
 let run_bechamel () =

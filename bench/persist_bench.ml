@@ -24,11 +24,6 @@ let batch_maxes = [ 16; 32; 64; 128; 256 ]
 
 let deadlines = [ 500; 1_000; 4_000; 16_000 ]
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
 let pcts r =
   let p q = Dudetm_sim.Stats.Latency.percentile r.SB.sb_commit_latency q in
   (p 50.0, p 99.0)
@@ -107,8 +102,7 @@ let run ?(scale = 1.0) () =
       (String.concat ",\n"
          (List.map (fun (d, r) -> row_json ~deadline:d r) deadline_rows))
   in
-  write_file "BENCH_persist.json" json;
-  Printf.printf "wrote BENCH_persist.json\n";
+  write_artifact "BENCH_persist.json" json;
   if ratio1 > 10.0 then begin
     Printf.printf
       "PERSIST TAIL REGRESSION: commit p99/p50 at 1 shard is %.1fx (> 10x)\n" ratio1;

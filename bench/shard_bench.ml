@@ -18,11 +18,6 @@ let cross_pcts = [ 0; 5; 20 ]
 
 let canonical_ntxs = 2_000
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
 let row_json r =
   let p q = Dudetm_sim.Stats.Latency.percentile r.SB.sb_commit_latency q in
   let p50 = p 50.0 and p99 = p 99.0 in
@@ -64,8 +59,7 @@ let run ?(scale = 1.0) () =
       ntxs speedup8
       (String.concat ",\n" (List.map row_json rows))
   in
-  write_file "BENCH_shard.json" json;
-  Printf.printf "wrote BENCH_shard.json\n";
+  write_artifact "BENCH_shard.json" json;
   if speedup8 < 4.0 then begin
     Printf.printf
       "SHARD SCALING REGRESSION: 8 shards at 0%% cross-shard is %.2fx one shard (< 4x)\n"

@@ -53,11 +53,6 @@ let load_baseline path =
     go []
   end
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
 let utilization accts total =
   List.map
     (fun a ->
@@ -96,8 +91,7 @@ let run ?scale:(_ = 1.0) () =
     List.iter (fun v -> Printf.printf "trace violation: %s\n" v) violations;
     exit 1
   end;
-  write_file "BENCH_trace.json" summary;
-  Printf.printf "wrote BENCH_trace.json\n";
+  write_artifact "BENCH_trace.json" summary;
   (* Per-phase p50 regression gate against the checked-in baseline (1 GB/s
      run).  p50s are log2-bucket lower bounds, so any bucket move is a 2x
      change and trips the 25% threshold — deterministic, not flaky. *)

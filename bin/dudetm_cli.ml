@@ -355,6 +355,7 @@ let check_cmd =
         ("skip-recovery-journal", Config.Skip_recovery_journal);
         ("skip-fragment-gate", Config.Skip_fragment_gate);
         ("skip-batch-seal", Config.Skip_batch_seal);
+        ("skip-quorum-gate", Config.Skip_quorum_gate);
       ]
     in
     Arg.(
@@ -366,9 +367,11 @@ let check_cmd =
              early-durable, unfenced-reproduce, skip-crc-verify, \
              skip-recovery-journal, skip-fragment-gate (Reproduce replays \
              cross-shard fragments without waiting for sibling durability; \
-             caught by --shards), or skip-batch-seal (group commit publishes \
+             caught by --shards), skip-batch-seal (group commit publishes \
              durability at batch seal instead of after the record's fence; \
-             caught by --batch).")
+             caught by --batch), or skip-quorum-gate (replication acknowledges \
+             at the primary-local seal instead of the quorum watermark; caught \
+             by --replica).")
   in
   let batch =
     Arg.(
@@ -381,6 +384,32 @@ let check_cmd =
              and its record fence), re-attach, and require the recovered state \
              to be exactly the acknowledged durable prefix — then re-crash the \
              recovered engine (two deep) and verify again.")
+  in
+  let replica =
+    Arg.(
+      value & flag
+      & info [ "replica" ]
+          ~doc:
+            "Run the replicated-durability failover campaign instead: ship the \
+             redo log to K replicas over simulated links (clean, faulty and \
+             partitioned scenarios), kill the primary at sampled persist \
+             boundaries, promote a replica, and require every quorum-acked \
+             transaction to survive with the promoted image exactly the \
+             durable-prefix model state.")
+  in
+  let replica_count =
+    Arg.(
+      value & opt int Dudetm_check.Check.default_replica_count
+      & info [ "replicas" ] ~docv:"K" ~doc:"With --replica: replica count.")
+  in
+  let replica_scenario =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "With --replica: restrict the sweep to one link scenario (clean, \
+             faulty, or partition); combine with --crash-at to replay one \
+             exact primary kill.")
   in
   let shards =
     Arg.(
@@ -514,13 +543,34 @@ let check_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at batch shards shard_count media media_faults media_seed media_seeds
-      evict_frac evict_seed recovery leg crash2 crash3 rec_seeds daemons daemon_seed
-      fault_rate verbose =
+      crash_at batch replica replica_count replica_scenario shards shard_count media
+      media_faults media_seed media_seeds evict_frac evict_seed recovery leg crash2
+      crash3 rec_seeds daemons daemon_seed fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
     let txs_or d = Option.value txs ~default:d in
-    if batch then begin
+    if replica then begin
+      match
+        let scenario =
+          Option.map Check.replica_scenario_of_string replica_scenario
+        in
+        Check.check_replica ~fault ~nreplicas:replica_count
+          ~txs:(txs_or Check.default_replica_txs)
+          ~log ?scenario ?only_crash:(opt crash_at) ()
+      with
+      | Check.Replica_pass { runs; boundaries } ->
+        Printf.printf
+          "replica campaign: PASS (%d runs, %d primary persist boundaries)\n" runs
+          boundaries;
+        `Ok ()
+      | Check.Replica_fail rf ->
+        Printf.printf "replica campaign: FAIL: %s\n  replay: %s\n" rf.Check.rf_reason
+          (Check.replica_replay_line rf);
+        `Error (false, "replicated-durability failover check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if batch then begin
       match
         Check.check_batch ~fault
           ~txs:(txs_or Check.default_batch_txs)
@@ -696,11 +746,15 @@ let check_cmd =
           leave every transfer all-or-nothing under the recovery vote.  With --batch, \
           a batch-boundary campaign: power cuts at every boundary of the pipelined \
           group commit (including mid-pipeline) and re-crashed recoveries must \
-          preserve exactly the acknowledged durable prefix.")
+          preserve exactly the acknowledged durable prefix.  With --replica, a \
+          replicated-durability campaign: kill the primary while the redo log ships \
+          to quorum replicas over hostile links, promote, and require every \
+          quorum-acked transaction to survive.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
-       $ sched_seeds $ mutate $ sched $ crash_at $ batch $ shards $ shard_count $ media
+       $ sched_seeds $ mutate $ sched $ crash_at $ batch $ replica $ replica_count
+       $ replica_scenario $ shards $ shard_count $ media
        $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
        $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
        $ verbose))

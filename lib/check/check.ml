@@ -57,6 +57,7 @@ let fault_suffix = function
   | Config.Skip_recovery_journal -> "+skip-recovery-journal"
   | Config.Skip_fragment_gate -> "+skip-fragment-gate"
   | Config.Skip_batch_seal -> "+skip-batch-seal"
+  | Config.Skip_quorum_gate -> "+skip-quorum-gate"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -1767,3 +1768,258 @@ let check_batch ?(fault = Config.No_fault) ?(txs = default_batch_txs)
       match !result with
       | Some f -> f
       | None -> Batch_pass { runs = !runs; boundaries = total })
+
+(* ------------------------------------------------------------------ *)
+(* Replicated-durability failover campaign                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The replica campaign runs a full Replica cluster (one primary plus K
+   followers behind simulated links), cuts power at sampled persist
+   boundaries of the *primary's* device, and fails over.  Because the
+   ship hook hangs off the Persist daemon, those boundaries land cuts at
+   every interesting replication point: record persisted but frame not
+   yet sent, frames in flight, acks in flight, mid-retransmit (faulty
+   links), and mid-catch-up (healed partition).  The promoted state must
+   cover everything the quorum watermark ever acknowledged and be exactly
+   the model state for the recovered commit count.
+
+   The [Skip_quorum_gate] mutant acknowledges at the primary-local seal;
+   cuts with frames still in flight leave every replica short of the
+   "acked" watermark, which promotion exposes as lost durability. *)
+
+module Rep = Dudetm_replica.Replica.Make (Dudetm_tm.Tinystm)
+module Link = Dudetm_replica.Link
+
+type replica_scenario = Rclean | Rfaulty | Rpartition
+
+let replica_scenario_to_string = function
+  | Rclean -> "clean"
+  | Rfaulty -> "faulty"
+  | Rpartition -> "partition"
+
+let replica_scenario_of_string = function
+  | "clean" -> Rclean
+  | "faulty" -> Rfaulty
+  | "partition" -> Rpartition
+  | s -> invalid_arg ("Check.replica_scenario_of_string: unknown scenario " ^ s)
+
+type replica_failure = {
+  rf_fault : Config.fault;
+  rf_nreplicas : int;
+  rf_txs : int;
+  rf_scenario : replica_scenario;
+  rf_crash : int option;
+  rf_reason : string;
+}
+
+type replica_report =
+  | Replica_pass of { runs : int; boundaries : int }
+  | Replica_fail of replica_failure
+
+let replica_replay_line rf =
+  Printf.sprintf "dudetm check --replica%s --replicas %d --txs %d --scenario %s%s"
+    (match rf.rf_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    rf.rf_nreplicas rf.rf_txs
+    (replica_scenario_to_string rf.rf_scenario)
+    (match rf.rf_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+let default_replica_count = 3
+
+let default_replica_txs = 10
+
+(* Counter workload at the engine level (same model as [counter]): tx
+   number i stamps slot (i mod 8) and writes the root to i, so the whole
+   durable state is a function of the recovered counter alone. *)
+let replica_slots = 8
+
+let replica_stamp i = [ i mod replica_slots ]
+
+let replica_tx tx =
+  let c1 = 1 + Int64.to_int (Rep.Engine.read tx 0) in
+  List.iter (fun j -> Rep.Engine.write tx (slot_addr j) (Int64.of_int c1)) (replica_stamp c1);
+  Rep.Engine.write tx 0 (Int64.of_int c1)
+
+let replica_faults =
+  {
+    Link.drop = 0.05;
+    duplicate = 0.05;
+    reorder = 0.05;
+    delay = 0.03;
+    delay_cycles = 30_000;
+    corrupt = 0.03;
+  }
+
+(* One full campaign run: drive the cluster, optionally cut power at the
+   [crash]-th primary persist boundary, fail over, check the oracle.
+   Returns (verdict, primary persist boundaries seen). *)
+let replica_run ~fault ~nreplicas ~txs ~scenario ~crash =
+  let cfg = { (batch_cfg ~fault) with Config.plog_size = 1 lsl 14 } in
+  let link =
+    {
+      Link.default_config with
+      Link.faults = (match scenario with Rfaulty -> replica_faults | _ -> Link.no_faults);
+      seed = cfg.Config.seed;
+    }
+  in
+  let rcfg = { (Rep.default_config ~nreplicas ()) with Rep.link } in
+  let c = Rep.create ~rcfg cfg in
+  let prim = Rep.primary c in
+  let prim_nvm = Rep.Engine.nvm prim in
+  let sites = ref 0 in
+  let last_d = ref 0 in
+  let err = ref None in
+  Nvm.set_persist_hook prim_nvm
+    (Some
+       (fun () ->
+         incr sites;
+         let d = Rep.Engine.durable_id prim in
+         if d < !last_d && !err = None then
+           err := Some (Printf.sprintf "durable id regressed from %d to %d" !last_d d);
+         if d > !last_d then last_d := d;
+         match crash with Some k when !sites = k -> raise Crash_now | _ -> ()));
+  let crashed = ref false in
+  let committed = ref 0 in
+  let drained_quorum = ref false in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            Rep.start c;
+            (match scenario with
+            | Rpartition ->
+              (* Partition the last replica mid-run, heal it later: crash
+                 points before the heal exercise quorum-minus-one, points
+                 after it exercise retransmit-driven catch-up. *)
+              ignore
+                (Sched.spawn ~daemon:true "partitioner" (fun () ->
+                     try
+                       Sched.advance 40_000;
+                       Rep.set_partitioned c (nreplicas - 1) true;
+                       Sched.advance 400_000;
+                       Rep.set_partitioned c (nreplicas - 1) false
+                     with Sched.Killed -> ()))
+            | _ -> ());
+            let done_workers = ref 0 in
+            for th = 0 to cfg.Config.nthreads - 1 do
+              ignore
+                (Sched.spawn (Printf.sprintf "replica-worker-%d" th) (fun () ->
+                     for i = 1 to txs do
+                       match Rep.Engine.atomically prim ~thread:th replica_tx with
+                       | Some (_, tid) when tid > 0 ->
+                         incr committed;
+                         (* Exercise the bounded quorum wait on a sample of
+                            commits; the rest stay decoupled. *)
+                         if i mod 4 = 0 then ignore (Rep.wait_acked c tid)
+                       | _ -> ()
+                     done;
+                     incr done_workers))
+            done;
+            Sched.wait_until ~label:"replica workers done" (fun () ->
+                !done_workers = cfg.Config.nthreads);
+            (match Rep.drain c with
+            | Rep.Quorum -> drained_quorum := true
+            | Rep.Degraded_quorum _ -> ());
+            Rep.sync_followers c;
+            Rep.stop c))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> err := Some ("deadlock: " ^ msg)
+  | e -> err := Some ("cluster raised " ^ Printexc.to_string e));
+  Nvm.set_persist_hook prim_nvm None;
+  (* The watermark is monotone, so its value now is its value at the cut:
+     exactly what was ever acknowledged as quorum-durable. *)
+  let acked = Rep.acked c in
+  match !err with
+  | Some reason -> (Some reason, !sites)
+  | None -> (
+    match Rep.promote c with
+    | exception e -> (Some ("promotion raised " ^ Printexc.to_string e), !sites)
+    | eng, prom ->
+      let peek a = Rep.Engine.heap_read_u64 eng a in
+      let k = Int64.to_int (peek 0) in
+      let durable = prom.Rep.report.Dudetm.durable in
+      (* With K = 1 the quorum is the primary alone (q = ⌈2/2⌉ = 1): acks
+         promise primary-local durability only — PR 6 semantics — so
+         failover makes no no-loss promise and only the prefix-consistency
+         checks apply.  Any larger cluster needs at least one replica ack,
+         and then no quorum-acked transaction may be lost. *)
+      let quorum_loss_guarded = Rep.quorum_needed ~nreplicas > 1 in
+      let reason =
+        if quorum_loss_guarded && acked > prom.Rep.quorum_prefix then
+          Some
+            (Printf.sprintf
+               "acked watermark %d passed the quorum prefix %d (candidates %s)" acked
+               prom.Rep.quorum_prefix
+               (String.concat ","
+                  (Array.to_list (Array.map string_of_int prom.Rep.candidates))))
+        else if quorum_loss_guarded && durable < acked then
+          Some
+            (Printf.sprintf
+               "durability lost: watermark %d was quorum-acked, promotion recovered only %d"
+               acked durable)
+        else if k <> durable then
+          Some
+            (Printf.sprintf "promotion reports durable id %d but the data image shows %d"
+               durable k)
+        else if (not !crashed) && !drained_quorum && k <> !committed then
+          Some
+            (Printf.sprintf "quiescent stop lost transactions: committed %d, promoted %d"
+               !committed k)
+        else slot_check ~slots:replica_slots ~stamp:replica_stamp ~peek ~k
+      in
+      (reason, !sites))
+
+let check_replica ?(fault = Config.No_fault) ?(nreplicas = default_replica_count)
+    ?(txs = default_replica_txs) ?(log = fun _ -> ()) ?scenario ?only_crash () =
+  let fail ~scenario ~crash reason =
+    Replica_fail
+      { rf_fault = fault; rf_nreplicas = nreplicas; rf_txs = txs; rf_scenario = scenario;
+        rf_crash = crash; rf_reason = reason }
+  in
+  match (scenario, only_crash) with
+  | Some sc, Some k -> (
+    match replica_run ~fault ~nreplicas ~txs ~scenario:sc ~crash:(Some k) with
+    | Some reason, _ -> fail ~scenario:sc ~crash:(Some k) reason
+    | None, s -> Replica_pass { runs = 1; boundaries = s })
+  | _ ->
+    let scenarios =
+      match scenario with Some sc -> [ sc ] | None -> [ Rclean; Rfaulty; Rpartition ]
+    in
+    let budget = max 4 (shard_sites_budget () / List.length scenarios) in
+    let runs = ref 0 in
+    let boundaries = ref 0 in
+    let result = ref None in
+    List.iter
+      (fun sc ->
+        if !result = None then begin
+          log
+            (Printf.sprintf "replica: scenario %s, K=%d, %d txs x %d threads, quiescent run"
+               (replica_scenario_to_string sc)
+               nreplicas txs
+               (batch_cfg ~fault:Config.No_fault).Config.nthreads);
+          incr runs;
+          match replica_run ~fault ~nreplicas ~txs ~scenario:sc ~crash:None with
+          | Some reason, _ -> result := Some (fail ~scenario:sc ~crash:None reason)
+          | None, total ->
+            boundaries := !boundaries + total;
+            let picks = sample_sites ~s:total ~n:budget in
+            log
+              (Printf.sprintf "replica: %d primary persist boundaries, killing at %d of them"
+                 total (List.length picks));
+            List.iter
+              (fun k ->
+                if !result = None then begin
+                  incr runs;
+                  match replica_run ~fault ~nreplicas ~txs ~scenario:sc ~crash:(Some k) with
+                  | Some reason, _ -> result := Some (fail ~scenario:sc ~crash:(Some k) reason)
+                  | None, _ -> ()
+                end)
+              picks
+        end)
+      scenarios;
+    match !result with
+    | Some f -> f
+    | None -> Replica_pass { runs = !runs; boundaries = !boundaries }

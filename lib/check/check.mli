@@ -476,3 +476,72 @@ val check_batch :
     all bounded by the [DUDETM_CHECK_BUDGET]-scaled site budget.
     [only_crash] (optionally with [only_crash2]) replays exactly one
     case instead. *)
+
+(** {1 Replicated-durability failover campaign}
+
+    [dudetm check --replica] drives a {!Dudetm_replica.Replica} cluster —
+    one primary plus K replicas behind simulated links — through the
+    counter workload, kills the primary (power cut at sampled persist
+    boundaries of the primary's device, which lands cuts at ship, ack and
+    mid-retransmit points because shipping hangs off the persist path),
+    promotes a replica, and verifies:
+
+    - {b no quorum-acked transaction lost}: the promoted durable ID covers
+      the acked watermark at the cut, and the watermark never passed the
+      quorum prefix;
+    - {b durable-prefix state}: the promoted image is exactly the model
+      state after the recovered commit count (the differential oracle);
+    - {b quiescence}: a run that drained to [Quorum] and stopped cleanly
+      promotes every committed transaction.
+
+    Three link scenarios: [clean], [faulty] (seeded drop / duplicate /
+    reorder / delay / corrupt), and [partition] (one replica partitioned
+    mid-run, healed later — crash points cover both the partition window
+    and catch-up-after-heal).  The campaign validates itself against the
+    seeded {!Dudetm_core.Config.Skip_quorum_gate} mutant, which
+    acknowledges at the primary-local seal while frames are still in
+    flight. *)
+
+type replica_scenario = Rclean | Rfaulty | Rpartition
+
+val replica_scenario_to_string : replica_scenario -> string
+
+val replica_scenario_of_string : string -> replica_scenario
+(** ["clean" | "faulty" | "partition"]; raises [Invalid_argument]
+    otherwise. *)
+
+type replica_failure = {
+  rf_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  rf_nreplicas : int;
+  rf_txs : int;  (** transactions per thread *)
+  rf_scenario : replica_scenario;
+  rf_crash : int option;
+      (** failing primary persist boundary; [None]: the quiescent run *)
+  rf_reason : string;
+}
+
+type replica_report =
+  | Replica_pass of { runs : int; boundaries : int }
+  | Replica_fail of replica_failure
+
+val replica_replay_line : replica_failure -> string
+(** The replayable [dudetm check --replica ...] one-liner. *)
+
+val default_replica_count : int
+
+val default_replica_txs : int
+
+val check_replica :
+  ?fault:Dudetm_core.Config.fault ->
+  ?nreplicas:int ->
+  ?txs:int ->
+  ?log:(string -> unit) ->
+  ?scenario:replica_scenario ->
+  ?only_crash:int ->
+  unit ->
+  replica_report
+(** Run the campaign: per scenario, one quiescent run counts the primary's
+    persist boundaries, then primary kills at an evenly-spread sample of
+    them (the [DUDETM_CHECK_BUDGET]-scaled site budget, split across
+    scenarios).  [scenario] restricts the sweep; [scenario] plus
+    [only_crash] replays exactly one case. *)

@@ -8,6 +8,7 @@ type fault =
   | Skip_recovery_journal
   | Skip_fragment_gate
   | Skip_batch_seal
+  | Skip_quorum_gate
 
 exception Invalid_config of string
 
@@ -50,6 +51,7 @@ type t = {
   bp_hwm_fraction : float;
   bp_wait_budget : int;
   pmalloc_wait_budget : int;
+  ack_timeout : int;
   seed : int;
   fault : fault;
 }
@@ -89,6 +91,7 @@ let default =
     bp_hwm_fraction = 0.75;
     bp_wait_budget = 2_000_000;
     pmalloc_wait_budget = 1_000_000;
+    ack_timeout = 2_000_000;
     seed = 42;
     fault = No_fault;
   }
@@ -168,6 +171,7 @@ let validate t =
     fail "daemon_backoff_cap below daemon_backoff_base";
   if t.bp_wait_budget < 0 then fail "bp_wait_budget < 0";
   if t.pmalloc_wait_budget < 0 then fail "pmalloc_wait_budget < 0";
+  if t.ack_timeout < 1 then fail "ack_timeout < 1";
   if nvm_size t land 4095 <> 0 then fail "nvm_size not page-aligned";
   (match t.shadow_frames with
   | Some f when f < 2 -> fail "shadow_frames < 2"

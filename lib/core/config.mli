@@ -63,6 +63,13 @@ type fault =
           sealed-but-unflushed — loses acknowledged transactions.
           Validates the batch-boundary campaign ([dudetm check --batch]).
           Requires [combine]. *)
+  | Skip_quorum_gate
+      (** The replication layer acknowledges a transaction at the
+          {e primary-local} durable watermark instead of the quorum vector
+          watermark: a primary death while the sealed batch is still in
+          flight to the replicas loses acknowledged transactions on
+          failover.  Validates the replicated-durability campaign
+          ([dudetm check --replica]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
@@ -122,6 +129,12 @@ type t = {
   pmalloc_wait_budget : int;
       (** max simulated cycles [pmalloc] waits for Reproduce to free space
           before raising [Pmem_exhausted] *)
+  ack_timeout : int;
+      (** max simulated cycles a durability wait may block on the {e quorum}
+          ack watermark (replicated durability, [lib/replica]) before the
+          cluster degrades to primary-only durability and reports
+          [Degraded_quorum] — never an unbounded block behind a partitioned
+          replica *)
   seed : int;
   fault : fault;  (** seeded checker-validation bug; [No_fault] in production *)
 }

@@ -31,6 +31,18 @@ type recovery_report = {
 
 let pmalloc_cost = 120
 
+(* One sealed log record as handed to the replication layer: the PR 6
+   group-commit batch, reused verbatim as the wire unit.  [seq] is the
+   record's ring sequence number (the replication stream's dedup key),
+   [lo..hi] its contiguous transaction-ID range, [payload] the exact
+   CRC-coverable bytes the primary persisted. *)
+type shipment = {
+  ship_seq : int;
+  ship_lo : int;
+  ship_hi : int;
+  ship_payload : bytes;
+}
+
 module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   type view = Flat of Mem.t | Paged of Shadow.t
 
@@ -103,6 +115,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
        no gating. *)
     mutable cross_gate : (int -> bool) option;
     mutable cross_frontier : int;  (* max replayed cross-shard gtid *)
+    (* Replication taps, installed by lib/replica.  [ship_hook] fires on
+       the Persist daemon right after a log record's NVM persist completes
+       (the batch is sealed locally); [replay_gate] stops a follower's
+       Reproduce from applying a transaction the cluster has not
+       quorum-acked yet, so promotion can still truncate to the quorum
+       prefix (replayed state cannot be un-replayed). *)
+    mutable ship_hook : (shipment -> unit) option;
+    mutable replay_gate : (int -> bool) option;
     fault_rng : Rng.t;  (* injected transient daemon failures *)
     mutable read_only : string option;  (* degraded mode: Some reason *)
     mutable stop_flag : bool;
@@ -186,6 +206,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       repro_ranges = ref [];
       cross_gate = None;
       cross_frontier = 0;
+      ship_hook = None;
+      replay_gate = None;
       fault_rng = Rng.create ((cfg.Config.seed * 31) + 0x5eed);
       read_only = None;
       stop_flag = false;
@@ -311,6 +333,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let cross_frontier t = t.cross_frontier
 
+  let set_ship_hook t hook = t.ship_hook <- hook
+
+  let set_replay_gate t gate = t.replay_gate <- gate
+
+  let ship t ~seq ~lo ~hi ~payload =
+    match t.ship_hook with
+    | None -> ()
+    | Some f -> f { ship_seq = seq; ship_lo = lo; ship_hi = hi; ship_payload = payload }
+
   (* The next queued replay item, if its turn has come (pure: no pop). *)
   let peek_next_item t =
     let target = applied t + 1 in
@@ -353,6 +384,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
            g = 0 || gate g
          | None -> true)
        | _ -> true)
+    (* Follower-side quorum replay gate: never apply past what the cluster
+       has acknowledged, so the promotion-time durable cut stays above the
+       checkpoint floor.  Pure (reads a watermark cell owned by the
+       replication layer), so it is safe inside [Sched.wait_until]. *)
+    && (match t.replay_gate with
+       | Some gate -> (
+         match peek_next_item t with Some it -> gate it.hi | None -> true)
+       | None -> true)
 
   (* ------------------------------------------------------------------ *)
   (* Persist step                                                        *)
@@ -516,6 +555,12 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             queue_items t i entries record;
             Vlog.consume_to vlog cut;
             note_flushed t tids;
+            (match tids with
+            | [] -> ()
+            | first :: _ ->
+              let lo = List.fold_left min first tids in
+              let hi = List.fold_left max first tids in
+              ship t ~seq:record.Plog.seq ~lo ~hi ~payload);
             true)
     end
 
@@ -805,6 +850,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
           t.queues.(0);
         if t.cfg.Config.fault <> Config.Skip_batch_seal then
           note_flushed t (List.init (pb.pb_hi - pb.pb_lo + 1) (fun k -> pb.pb_lo + k));
+        ship t ~seq:record.Plog.seq ~lo:pb.pb_lo ~hi:pb.pb_hi ~payload:pb.pb_payload;
         loop ()
       end
       else if t.stop_flag && t.combiner_done then ()
@@ -1039,6 +1085,69 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let stop t =
     drain t;
+    t.stop_flag <- true
+
+  (* ------------------------------------------------------------------ *)
+  (* Follower mode (replicated durability, lib/replica)                  *)
+  (* ------------------------------------------------------------------ *)
+
+  (* A follower runs no Perform and no Persist: the primary's Persist
+     daemon already produced the sealed record, so ingesting one is just
+     the flusher's tail — append the exact shipped payload to ring 0,
+     queue the replay item and advance the local durable watermark.  The
+     follower's ring therefore holds byte-identical records at the same
+     sequence numbers as the primary's ring 0, which is what makes
+     promotion plain [attach] recovery. *)
+  let ingest_record t payload =
+    let entries = Log_entry.decode_payload payload in
+    let tids = Log_entry.tids entries in
+    match tids with
+    | [] -> true
+    | first :: _ ->
+      let lo = List.fold_left min first tids in
+      let hi = List.fold_left max first tids in
+      if lo <> t.durable + 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Dudetm.ingest_record: batch [%d,%d] breaks the contiguous durable prefix at %d"
+             lo hi t.durable);
+      let plog = t.plogs.(0) in
+      if Plog.free_space plog < Plog.record_overhead + Bytes.length payload + 1 then
+        (* Ring full (replay gated or Reproduce behind): the caller keeps
+           the frame buffered and retries once recycling frees space. *)
+        false
+      else begin
+        let record = Plog.append plog payload in
+        Queue.push
+          {
+            lo;
+            hi;
+            entries;
+            region = 0;
+            end_off = record.Plog.end_off;
+            rec_next_seq = record.Plog.seq + 1;
+            last_of_record = true;
+          }
+          t.queues.(0);
+        note_flushed t tids;
+        Stats.incr t.stats "flush_records";
+        Stats.add t.stats "flush_payload_bytes" (Bytes.length payload);
+        stat_max t.stats "plog_hwm_bytes" (Plog.used_space plog);
+        true
+      end
+
+  let start_follower t =
+    if t.started then invalid_arg "Dudetm.start_follower: already started";
+    t.started <- true;
+    ignore
+      (Sched.spawn ~daemon:true "reproduce" (fun () ->
+           supervise t (fun () -> reproduce_loop t)))
+
+  (* No [drain]: a follower's [last_tid] never moves (no Perform), and its
+     replay gate may legitimately hold back a suffix forever — just tell
+     the Reproduce daemon to checkpoint what is applied and exit. *)
+  let stop_follower t =
+    t.draining <- true;
     t.stop_flag <- true
 
   (* ------------------------------------------------------------------ *)

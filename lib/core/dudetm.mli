@@ -65,6 +65,18 @@ type recovery_report = {
                                 record bytes *)
 }
 
+type shipment = {
+  ship_seq : int;  (** the record's ring sequence number: the replication
+                       stream's dedup/retransmit key *)
+  ship_lo : int;  (** first transaction ID sealed in the record *)
+  ship_hi : int;  (** last transaction ID sealed in the record *)
+  ship_payload : bytes;  (** the exact payload bytes persisted to ring 0 *)
+}
+(** One sealed log record as handed to the replication layer
+    ([lib/replica]): the group-commit batch of PR 6, reused verbatim as
+    the wire unit.  A follower ingesting the payload reproduces a
+    byte-identical record at the same sequence number in its own ring. *)
+
 module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   type t
 
@@ -219,6 +231,47 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val cross_frontier : t -> int
   (** Highest cross-shard global transaction ID this region has replayed
       (volatile mirror of the checkpointed frontier). *)
+
+  (** {1 Replicated durability (replication layer hooks)}
+
+      [lib/replica] runs one primary (a normal started instance) plus K
+      followers.  The primary's Persist daemon hands every sealed record to
+      {!set_ship_hook}'s callback; each follower ingests the records
+      in order via {!ingest_record} and replays them with its own Reproduce
+      daemon ({!start_follower}), gated by {!set_replay_gate} to the
+      cluster's quorum-acknowledged watermark. *)
+
+  val set_ship_hook : t -> (shipment -> unit) option -> unit
+  (** Install the primary-side ship tap: fires on the Persist daemon
+      immediately after a log record's NVM persist completes (and its
+      durable IDs are published) — the earliest point at which the batch is
+      sealed locally and may be offered to replicas.  The callback must not
+      block (the replication layer enqueues onto simulated links). *)
+
+  val ingest_record : t -> bytes -> bool
+  (** Follower-side flusher tail: append the shipped payload to ring 0,
+      queue the replay item and advance the local durable watermark.
+      Returns [false] (and does nothing) when the ring lacks space — the
+      caller keeps the frame buffered and retries after Reproduce recycles.
+      Raises [Invalid_argument] if the batch does not extend the follower's
+      contiguous durable prefix (the replication layer's in-order delivery
+      was violated). *)
+
+  val start_follower : t -> unit
+  (** Spawn only the supervised Reproduce daemon: a follower performs no
+      transactions and persists nothing of its own. *)
+
+  val stop_follower : t -> unit
+  (** Ask a follower's Reproduce daemon to checkpoint what is applied and
+      exit.  No drain: the replay gate may legitimately hold back a
+      never-acknowledged suffix forever. *)
+
+  val set_replay_gate : t -> (int -> bool) option -> unit
+  (** Install the follower's quorum replay gate: Reproduce applies the next
+      item only if [gate hi] holds for the item's last transaction ID.
+      Keeping replay at or below the cluster's acknowledged watermark keeps
+      the checkpoint floor below any legal promotion-time durable cut.  The
+      predicate must be pure — it runs inside scheduler wait conditions. *)
 
   (** {1 Degraded mode} *)
 

@@ -293,6 +293,12 @@ let section title =
 
 let pp_ktps v = if v >= 1000.0 then Printf.sprintf "%.2f MTPS" (v /. 1000.0) else Printf.sprintf "%.1f KTPS" v
 
+let write_artifact path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let pp_commit_latency r =
   let p q = Stats.Latency.percentile r.commit_latency q in
   Printf.sprintf "p50 %d / p95 %d / p99 %d cyc" (p 50.0) (p 95.0) (p 99.0)

@@ -107,6 +107,10 @@ val section : string -> unit
 
 val pp_ktps : float -> string
 
+val write_artifact : string -> string -> unit
+(** Write a machine-readable benchmark artifact (the BENCH_*.json files CI
+    uploads) and print the one-line "wrote ..." notice. *)
+
 val pp_commit_latency : result -> string
 (** ["p50 .. / p95 .. / p99 .. cyc"] over {!result.commit_latency}. *)
 

@@ -1,0 +1,79 @@
+(* Frame layout (little-endian):
+
+     [0..3]   CRC-32 over bytes [4..len)
+     [4]      kind: 1 = Batch, 2 = Ack, 3 = Watermark
+     [5..]    kind-specific fields
+
+   Batch:      seq u64 | lo u64 | hi u64 | acked u64 | plen u32 | payload
+   Ack:        seq u64 | durable u64
+   Watermark:  acked u64 *)
+
+type t =
+  | Batch of { seq : int; lo : int; hi : int; acked : int; payload : bytes }
+  | Ack of { seq : int; durable : int }
+  | Watermark of { acked : int }
+
+let kind_batch = 1
+let kind_ack = 2
+let kind_watermark = 3
+
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let seal b =
+  let crc = Checksum.crc32 b 4 (Bytes.length b - 4) in
+  Bytes.set_int32_le b 0 crc;
+  b
+
+let encode = function
+  | Batch { seq; lo; hi; acked; payload } ->
+    let plen = Bytes.length payload in
+    let b = Bytes.create (4 + 1 + 32 + 4 + plen) in
+    Bytes.set b 4 (Char.chr kind_batch);
+    set_u64 b 5 seq;
+    set_u64 b 13 lo;
+    set_u64 b 21 hi;
+    set_u64 b 29 acked;
+    Bytes.set_int32_le b 37 (Int32.of_int plen);
+    Bytes.blit payload 0 b 41 plen;
+    seal b
+  | Ack { seq; durable } ->
+    let b = Bytes.create (4 + 1 + 16) in
+    Bytes.set b 4 (Char.chr kind_ack);
+    set_u64 b 5 seq;
+    set_u64 b 13 durable;
+    seal b
+  | Watermark { acked } ->
+    let b = Bytes.create (4 + 1 + 8) in
+    Bytes.set b 4 (Char.chr kind_watermark);
+    set_u64 b 5 acked;
+    seal b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < 5 then None
+  else if Bytes.get_int32_le b 0 <> Checksum.crc32 b 4 (len - 4) then None
+  else
+    match Char.code (Bytes.get b 4) with
+    | k when k = kind_batch ->
+      if len < 41 then None
+      else begin
+        let plen = Int32.to_int (Bytes.get_int32_le b 37) in
+        if plen < 0 || len <> 41 + plen then None
+        else
+          Some
+            (Batch
+               {
+                 seq = get_u64 b 5;
+                 lo = get_u64 b 13;
+                 hi = get_u64 b 21;
+                 acked = get_u64 b 29;
+                 payload = Bytes.sub b 41 plen;
+               })
+      end
+    | k when k = kind_ack ->
+      if len <> 21 then None else Some (Ack { seq = get_u64 b 5; durable = get_u64 b 13 })
+    | k when k = kind_watermark ->
+      if len <> 13 then None else Some (Watermark { acked = get_u64 b 5 })
+    | _ -> None

@@ -1,0 +1,38 @@
+(** Replication wire frames ([lib/replica]).
+
+    The unit of replication is the PR 6 group-commit batch: the exact
+    payload bytes the primary's Persist daemon sealed into one ring-0
+    record, carried verbatim inside a [Batch] frame keyed by the record's
+    ring sequence number.  Every frame is CRC-32 sealed end to end, so a
+    link-corrupted frame is {e detected and dropped} by {!decode} (the
+    retransmit timer recovers it) rather than ever reaching a replica's
+    ring.
+
+    Frames also piggyback the cluster's quorum-acknowledged watermark
+    ([acked]): a follower's Reproduce daemon replays only transactions at
+    or below the highest watermark it has seen, which keeps its checkpoint
+    floor below any legal promotion-time truncation. *)
+
+type t =
+  | Batch of {
+      seq : int;  (** primary ring-0 record sequence: dedup/retransmit key *)
+      lo : int;  (** first transaction ID sealed in the record *)
+      hi : int;  (** last transaction ID sealed in the record *)
+      acked : int;  (** cluster quorum-acked watermark at send time *)
+      payload : bytes;  (** the sealed record payload, byte-identical *)
+    }
+  | Ack of {
+      seq : int;  (** cumulative: every record with sequence ≤ [seq] is
+                      sealed on the sender's device *)
+      durable : int;  (** the replica's local durable transaction ID *)
+    }
+  | Watermark of { acked : int }
+      (** watermark-only broadcast: lets followers open their replay gate
+          when no data frame is pending (e.g. the tail of a run) *)
+
+val encode : t -> bytes
+(** Serialize with a leading CRC-32 over everything that follows. *)
+
+val decode : bytes -> t option
+(** [None] on a short, malformed or CRC-mismatching buffer — corruption is
+    detected, never delivered. *)

@@ -1,0 +1,126 @@
+module Sched = Dudetm_sim.Sched
+module Stats = Dudetm_sim.Stats
+module Rng = Dudetm_sim.Rng
+module Resource = Dudetm_sim.Resource
+module Trace = Dudetm_trace.Trace
+
+type faults = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : float;
+  delay_cycles : int;
+  corrupt : float;
+}
+
+let no_faults =
+  { drop = 0.0; duplicate = 0.0; reorder = 0.0; delay = 0.0; delay_cycles = 0; corrupt = 0.0 }
+
+type config = {
+  latency : int;
+  bandwidth_gbps : float;
+  faults : faults;
+  seed : int;
+}
+
+let default_config = { latency = 20_000; bandwidth_gbps = 10.0; faults = no_faults; seed = 1 }
+
+type t = {
+  label : string;
+  cfg : config;
+  channel : Resource.t;
+  rng : Rng.t;
+  (* Deliverable frames, sorted by (deliver_at, stamp).  The stamp breaks
+     same-cycle ties in send order, so delivery is deterministic. *)
+  mutable queue : (int * int * bytes) list;
+  mutable next_stamp : int;
+  mutable partitioned : bool;
+  stats : Stats.t;
+}
+
+let create ~label cfg =
+  {
+    label;
+    cfg;
+    channel = Resource.create_gbps cfg.bandwidth_gbps;
+    rng = Rng.create (cfg.seed lxor Hashtbl.hash label lxor 0x11fa57);
+    queue = [];
+    next_stamp = 0;
+    partitioned = false;
+    stats = Stats.create ();
+  }
+
+let insert t at b =
+  t.next_stamp <- t.next_stamp + 1;
+  let stamp = t.next_stamp in
+  let rec ins = function
+    | [] -> [ (at, stamp, b) ]
+    | ((a, s, _) as hd) :: tl when (a, s) <= (at, stamp) -> hd :: ins tl
+    | rest -> (at, stamp, b) :: rest
+  in
+  t.queue <- ins t.queue
+
+let send t b =
+  Stats.incr t.stats "frames_sent";
+  Stats.add t.stats "bytes_sent" (Bytes.length b);
+  if t.partitioned then Stats.incr t.stats "frames_dropped_partition"
+  else begin
+    let f = t.cfg.faults in
+    let roll p = p > 0.0 && Rng.float t.rng < p in
+    if roll f.drop then Stats.incr t.stats "frames_dropped"
+    else begin
+      let bytes = Bytes.length b in
+      let now = Sched.now () in
+      let cost = Resource.transfer t.channel ~now ~bytes ~latency:t.cfg.latency in
+      Trace.link_transfer ~link:t.label ~bytes ~cycles:cost;
+      let at = now + cost in
+      let at =
+        if roll f.delay then begin
+          Stats.incr t.stats "frames_delayed";
+          at + f.delay_cycles
+        end
+        else at
+      in
+      (* A reordered frame is simply held back long enough for traffic sent
+         after it to overtake it. *)
+      let at =
+        if roll f.reorder then begin
+          Stats.incr t.stats "frames_reordered";
+          at + (3 * t.cfg.latency)
+        end
+        else at
+      in
+      let payload =
+        if roll f.corrupt then begin
+          Stats.incr t.stats "frames_corrupted";
+          let c = Bytes.copy b in
+          let i = Rng.int t.rng (Bytes.length c) in
+          Bytes.set c i
+            (Char.chr (Char.code (Bytes.get c i) lxor (1 lsl Rng.int t.rng 8)));
+          c
+        end
+        else b
+      in
+      insert t at payload;
+      if roll f.duplicate then begin
+        Stats.incr t.stats "frames_duplicated";
+        insert t (at + t.cfg.latency) payload
+      end
+    end
+  end
+
+let recv t =
+  match t.queue with
+  | (at, _, b) :: tl when at <= Sched.now () ->
+    t.queue <- tl;
+    Stats.incr t.stats "frames_delivered";
+    Some b
+  | _ -> None
+
+let set_partitioned t p = t.partitioned <- p
+
+let partitioned t = t.partitioned
+
+let in_flight t = List.length t.queue
+
+let stats t = t.stats

@@ -43,6 +43,7 @@ type state = {
   mutable names : (int, string) Hashtbl.t;
   mutable nvm : (int, nvm_cell) Hashtbl.t;
   mutable nvm_dev : (string, nvm_cell) Hashtbl.t;
+  mutable links : (string, nvm_cell) Hashtbl.t;
   mutable orphans : int;
   mutable mismatched : int;
   mutable nonmono : int;
@@ -67,6 +68,7 @@ let st =
     names = Hashtbl.create 1;
     nvm = Hashtbl.create 1;
     nvm_dev = Hashtbl.create 1;
+    links = Hashtbl.create 1;
     orphans = 0;
     mismatched = 0;
     nonmono = 0;
@@ -82,6 +84,7 @@ let clear ~capacity =
   st.names <- Hashtbl.create 16;
   st.nvm <- Hashtbl.create 16;
   st.nvm_dev <- Hashtbl.create 16;
+  st.links <- Hashtbl.create 16;
   st.orphans <- 0;
   st.mismatched <- 0;
   st.nonmono <- 0;
@@ -261,6 +264,27 @@ let nvm_transfer ~dev ~bytes ~cycles =
     emit ~ts ~tid ~kind:Ev_instant ~cat:"nvm" ~name:"persist" ~arg:bytes
   end
 
+(* Per-link byte accounting for the replication interconnect.  Same
+   discipline as the per-device NVM table: [link] is a plain string
+   argument so a disabled-mode call site allocates nothing. *)
+let link_transfer ~link ~bytes ~cycles =
+  if st.on then begin
+    let ts = !now_fn () in
+    let tid = self_noted () in
+    let cell =
+      match Hashtbl.find_opt st.links link with
+      | Some c -> c
+      | None ->
+        let c = { c_bytes = 0; c_cycles = 0; c_ops = 0 } in
+        Hashtbl.add st.links link c;
+        c
+    in
+    cell.c_bytes <- cell.c_bytes + bytes;
+    cell.c_cycles <- cell.c_cycles + cycles;
+    cell.c_ops <- cell.c_ops + 1;
+    emit ~ts ~tid ~kind:Ev_instant ~cat:"link" ~name:"frame" ~arg:bytes
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Reading back                                                        *)
 
@@ -348,6 +372,21 @@ let nvm_dev_accts () =
       { nd_dev = dev; nd_bytes = c.c_bytes; nd_cycles = c.c_cycles; nd_ops = c.c_ops } :: acc)
     st.nvm_dev []
   |> List.sort (fun a b -> compare (b.nd_bytes, a.nd_dev) (a.nd_bytes, b.nd_dev))
+
+type link_acct = {
+  lk_link : string;
+  lk_bytes : int;
+  lk_cycles : int;
+  lk_frames : int;
+}
+
+let link_accts () =
+  Hashtbl.fold
+    (fun link c acc ->
+      { lk_link = link; lk_bytes = c.c_bytes; lk_cycles = c.c_cycles; lk_frames = c.c_ops }
+      :: acc)
+    st.links []
+  |> List.sort (fun a b -> compare (b.lk_bytes, a.lk_link) (a.lk_bytes, b.lk_link))
 
 let retained_iter f =
   let len = Array.length st.ring in
@@ -532,6 +571,15 @@ let summary_json ?total_cycles () =
         (Printf.sprintf "\n    {\"dev\":\"%s\",\"bytes\":%d,\"cycles\":%d,\"ops\":%d%s}"
            (json_escape a.nd_dev) a.nd_bytes a.nd_cycles a.nd_ops util))
     (nvm_dev_accts ());
+  Buffer.add_string b "\n  ],\n  \"links\": [";
+  first := true;
+  List.iter
+    (fun a ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"link\":\"%s\",\"bytes\":%d,\"cycles\":%d,\"frames\":%d}"
+           (json_escape a.lk_link) a.lk_bytes a.lk_cycles a.lk_frames))
+    (link_accts ());
   Buffer.add_string b "\n  ],\n  \"ring_occupancy\": [";
   first := true;
   List.iter

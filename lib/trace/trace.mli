@@ -93,6 +93,13 @@ val nvm_transfer : dev:string -> bytes:int -> cycles:int -> unit
     traffic across independent NVM channels.  [dev] is a plain (non-option)
     argument so the disabled-mode call stays allocation-free. *)
 
+val link_transfer : link:string -> bytes:int -> cycles:int -> unit
+(** Attribute one replication-interconnect frame delivery ([bytes] on the
+    wire, [cycles] of channel occupancy) to link [link] and emit an instant
+    under category ["link"].  Same hot-path discipline as {!nvm_transfer}:
+    [link] is a plain argument, so the disabled-mode call allocates
+    nothing. *)
+
 (** {1 Scheduler integration} *)
 
 val set_time_source : now:(unit -> int) -> self:(unit -> int * string) -> unit
@@ -146,6 +153,18 @@ val nvm_dev_accts : unit -> nvm_dev_acct list
 (** Per-device NVM traffic, sorted by descending bytes.  Each shard owns
     its own labeled device, so this is the per-shard channel-utilization
     breakdown. *)
+
+type link_acct = {
+  lk_link : string;  (** link label, e.g. ["ship:replica1"] *)
+  lk_bytes : int;  (** wire bytes delivered (faulted frames included) *)
+  lk_cycles : int;  (** serialized channel occupancy charged *)
+  lk_frames : int;  (** frames sent on the link *)
+}
+
+val link_accts : unit -> link_acct list
+(** Per-link replication traffic, sorted by descending bytes: how much of
+    the interconnect each ship/ack direction consumed, including
+    retransmissions. *)
 
 val counter_series : cat:string -> string -> (int * int) list
 (** [(ts, value)] pairs for one counter, oldest first, from the retained

@@ -23,4 +23,5 @@ let () =
       ("shard", Test_shard.suite);
       ("partition", Test_partition.suite);
       ("differential", Test_differential.suite);
+      ("replica", Test_replica.suite);
     ]
