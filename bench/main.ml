@@ -28,6 +28,7 @@ let experiments scale full =
     ("shard", fun () -> Shard_bench.run ~scale ());
     ("persist", fun () -> Persist_bench.run ~scale ());
     ("replica", fun () -> Replica_bench.run ~scale ());
+    ("migrate", fun () -> Migrate_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -47,6 +48,7 @@ let bechamel_tests =
     ("shard", Shard_bench.tiny);
     ("persist", Persist_bench.tiny);
     ("replica", Replica_bench.tiny);
+    ("migrate", Migrate_bench.tiny);
   ]
 
 let run_bechamel () =

@@ -356,6 +356,7 @@ let check_cmd =
         ("skip-fragment-gate", Config.Skip_fragment_gate);
         ("skip-batch-seal", Config.Skip_batch_seal);
         ("skip-quorum-gate", Config.Skip_quorum_gate);
+        ("skip-handoff-seal", Config.Skip_handoff_seal);
       ]
     in
     Arg.(
@@ -369,9 +370,11 @@ let check_cmd =
              cross-shard fragments without waiting for sibling durability; \
              caught by --shards), skip-batch-seal (group commit publishes \
              durability at batch seal instead of after the record's fence; \
-             caught by --batch), or skip-quorum-gate (replication acknowledges \
+             caught by --batch), skip-quorum-gate (replication acknowledges \
              at the primary-local seal instead of the quorum watermark; caught \
-             by --replica).")
+             by --replica), or skip-handoff-seal (migration flips key-range \
+             ownership without sealing the handoff record and the new \
+             partition descriptor; caught by --migrate).")
   in
   let batch =
     Arg.(
@@ -426,6 +429,19 @@ let check_cmd =
     Arg.(
       value & opt int Dudetm_check.Check.default_shard_count
       & info [ "shard-count" ] ~doc:"With --shards: independent regions to create.")
+  in
+  let migrate =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:
+            "Run the live-migration crash campaign instead: reshard a multi-region \
+             instance 4->8 under traffic (double-write window, sealed handoff \
+             record, atomic descriptor flip), cut power at sampled persist \
+             boundaries on every device — including between recovery's own \
+             handoff seals (two deep) — re-attach, complete the resharding, and \
+             require every key on exactly one shard with no acknowledged write \
+             lost and every moved range recycled.")
   in
   let media =
     Arg.(
@@ -504,7 +520,8 @@ let check_cmd =
       & info [ "crash2" ]
           ~doc:
             "With --recovery --leg: boundary cut inside that recovery leg (0 = none). \
-             With --batch: second power cut, counted after the first recovery.")
+             With --batch: second power cut, counted after the first recovery. \
+             With --migrate: second cut, counted from the first re-attach on.")
   in
   let crash3 =
     Arg.(
@@ -543,8 +560,8 @@ let check_cmd =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
-      crash_at batch replica replica_count replica_scenario shards shard_count media
-      media_faults media_seed media_seeds evict_frac evict_seed recovery leg crash2
+      crash_at batch replica replica_count replica_scenario shards shard_count migrate
+      media media_faults media_seed media_seeds evict_frac evict_seed recovery leg crash2
       crash3 rec_seeds daemons daemon_seed fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
@@ -600,6 +617,22 @@ let check_cmd =
         Printf.printf "shard campaign: FAIL: %s\n  replay: %s\n" shf.Check.shf_reason
           (Check.shard_replay_line shf);
         `Error (false, "sharded cross-commit check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if migrate then begin
+      match
+        Check.check_migrate ~fault ~log ?only_crash:(opt crash_at)
+          ?only_crash2:(opt crash2) ()
+      with
+      | Check.Migrate_pass { runs; boundaries } ->
+        Printf.printf "migrate campaign: PASS (%d runs, %d persist boundaries cut)\n"
+          runs boundaries;
+        `Ok ()
+      | Check.Migrate_fail mg ->
+        Printf.printf "migrate campaign: FAIL: %s\n  replay: %s\n" mg.Check.mg_reason
+          (Check.migrate_replay_line mg);
+        `Error (false, "live-migration crash check failed")
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Config.Invalid_config msg -> `Error (false, msg)
     end
@@ -749,12 +782,15 @@ let check_cmd =
           preserve exactly the acknowledged durable prefix.  With --replica, a \
           replicated-durability campaign: kill the primary while the redo log ships \
           to quorum replicas over hostile links, promote, and require every \
-          quorum-acked transaction to survive.")
+          quorum-acked transaction to survive.  With --migrate, a live-migration \
+          campaign: power cuts during a 4->8 resharding (double-write window, \
+          sealed handoff record, atomic descriptor flip) must leave every key on \
+          exactly one shard with no acknowledged write lost.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
        $ sched_seeds $ mutate $ sched $ crash_at $ batch $ replica $ replica_count
-       $ replica_scenario $ shards $ shard_count $ media
+       $ replica_scenario $ shards $ shard_count $ migrate $ media
        $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
        $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
        $ verbose))

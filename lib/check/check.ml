@@ -58,6 +58,7 @@ let fault_suffix = function
   | Config.Skip_fragment_gate -> "+skip-fragment-gate"
   | Config.Skip_batch_seal -> "+skip-batch-seal"
   | Config.Skip_quorum_gate -> "+skip-quorum-gate"
+  | Config.Skip_handoff_seal -> "+skip-handoff-seal"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -2023,3 +2024,407 @@ let check_replica ?(fault = Config.No_fault) ?(nreplicas = default_replica_count
     match !result with
     | Some f -> f
     | None -> Replica_pass { runs = !runs; boundaries = !boundaries }
+
+(* ------------------------------------------------------------------ *)
+(* Live-migration (resharding) crash campaign                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The migrate campaign drives a live 4->8 resharding: 8 engines, an
+   8-bucket partition initially owned by shards 0-3 (two buckets each),
+   and four migrations handing every odd bucket to a fresh shard 4-7 —
+   each under application traffic that keeps landing increments inside
+   and outside the moving range, so cuts fall in the double-write window,
+   between the flip's three seals, and mid-cleanup.  Power is cut at
+   persist boundaries counted across all eight devices (the handoff
+   journal's own seals are boundaries too).
+
+   The per-key model tracks a commit count and, at every boundary, how
+   many of each key's commits were acknowledged under the sampled vector
+   watermark (local acks against the per-shard effective IDs, window
+   double-writes against the global frontier).  After recovery the value
+   at the key's descriptor-routed owner must sit in [acked, committed];
+   after the completed schedule it must equal the commit count exactly,
+   with every moved range's source slots recycled to zero.
+
+   The two-deep leg re-arms the hooks before the first re-attach, so the
+   second cut can land inside recovery itself — between the roll-forward
+   seals of a half-flipped handoff — and the third attach must still
+   converge.  The [Skip_handoff_seal] mutant flips volatile routing
+   without sealing the handoff record or the new descriptor; any cut
+   after the first flip recovers the stale descriptor, routes the moved
+   range back to the source, and loses the destination's acknowledged
+   writes — which the oracle reports. *)
+
+module Mig = Dudetm_shard.Migrate.Make (Dudetm_tm.Tinystm)
+module Handoff = Dudetm_shard.Handoff
+module Partition = Dudetm_workloads.Partition
+
+type migrate_failure = {
+  mg_fault : Config.fault;
+  mg_crash : int option;  (* first power cut (persist boundary) *)
+  mg_crash2 : int option;  (* second cut, counted from the re-attach on *)
+  mg_reason : string;
+}
+
+type migrate_report =
+  | Migrate_pass of { runs : int; boundaries : int }
+  | Migrate_fail of migrate_failure
+
+let migrate_replay_line mg =
+  Printf.sprintf "dudetm check --migrate%s%s%s"
+    (match mg.mg_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    (match mg.mg_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+    (match mg.mg_crash2 with None -> "" | Some k -> Printf.sprintf " --crash2 %d" k)
+
+let migrate_nshards = 8
+
+let migrate_nkeys = 16
+
+(* 8 buckets over keys [0, 16): bucket [b] covers keys {2b, 2b+1}.  The
+   schedule hands every odd bucket to a fresh shard. *)
+let mg_initial_owners = [| 0; 0; 1; 1; 2; 2; 3; 3 |]
+
+let mg_final_owners = [| 0; 4; 1; 5; 2; 6; 3; 7 |]
+
+let mg_moves = List.init 4 (fun m -> (m, 4 + m, (2 * m) + 1))
+
+let mg_slot k = 8 * k
+
+type mg_ack = Mg_local of int * int | Mg_cross of int
+
+type mg_model = {
+  mg_committed : int array;
+  mg_acked : int array;  (* running max of the satisfied ack prefix *)
+  mg_pending : mg_ack Queue.t array;  (* per key, in commit order *)
+  mutable mg_fmax : int;
+  mg_emax : int array;
+}
+
+let mg_model () =
+  {
+    mg_committed = Array.make migrate_nkeys 0;
+    mg_acked = Array.make migrate_nkeys 0;
+    mg_pending = Array.init migrate_nkeys (fun _ -> Queue.create ());
+    mg_fmax = 0;
+    mg_emax = Array.make migrate_nshards 0;
+  }
+
+(* Unacknowledged commits are void once the power is cut: their tids/gtids
+   can be reissued by the next life, so leaving them queued would let a
+   second-life watermark satisfy a first-life ack. *)
+let mg_void_pending model = Array.iter Queue.clear model.mg_pending
+
+(* One increment through the router; records the commit and its ack. *)
+let mg_bump mig model ~thread k =
+  match Mig.apply mig ~thread ~key:k (fun v -> Int64.add v 1L) with
+  | Some (_, ack) ->
+    model.mg_committed.(k) <- model.mg_committed.(k) + 1;
+    (match ack with
+    | Mig.Sh.Ack_local { shard; tid } -> Queue.push (Mg_local (shard, tid)) model.mg_pending.(k)
+    | Mig.Sh.Ack_cross { gtid } -> Queue.push (Mg_cross gtid) model.mg_pending.(k)
+    | Mig.Sh.Ack_read_only -> ())
+  | None -> ()
+
+(* The value the descriptor-routed owner holds for every key must cover
+   everything acknowledged and never exceed the commit count; [final]
+   additionally demands the completed-resharding fixpoint: final owners,
+   exact counts, and every non-owner slot recycled to zero. *)
+let mg_oracle ~final sh mig model =
+  let peek s k = Mig.Sh.Engine.heap_read_u64 (Mig.Sh.engine sh s) (mg_slot k) in
+  let bad = ref None in
+  let report r = if !bad = None then bad := Some r in
+  for k = 0 to migrate_nkeys - 1 do
+    let o = Mig.owner mig k in
+    let v = Int64.to_int (peek o k) in
+    if v < model.mg_acked.(k) then
+      report
+        (Printf.sprintf "acked write lost: key %d on owner shard %d is %d, %d were acked"
+           k o v model.mg_acked.(k));
+    if v > model.mg_committed.(k) then
+      report
+        (Printf.sprintf "phantom write: key %d on owner shard %d is %d, only %d committed"
+           k o v model.mg_committed.(k))
+  done;
+  if final then begin
+    let owners = Partition.owners (Mig.partition mig) in
+    if owners <> mg_final_owners then
+      report
+        (Printf.sprintf "resharding did not converge: owners %s"
+           (String.concat ";" (Array.to_list (Array.map string_of_int owners))));
+    for k = 0 to migrate_nkeys - 1 do
+      let o = Mig.owner mig k in
+      let v = Int64.to_int (peek o k) in
+      if v <> model.mg_committed.(k) then
+        report
+          (Printf.sprintf "quiescent stop lost writes: key %d is %d, committed %d" k v
+             model.mg_committed.(k));
+      for s = 0 to migrate_nshards - 1 do
+        if s <> o && peek s k <> 0L then
+          report
+            (Printf.sprintf
+               "unreachable extent: shard %d still holds %Ld for key %d (owner %d)" s
+               (peek s k) k o)
+      done
+    done
+  end;
+  !bad
+
+(* A crash discards every commit past the durable cut, so once the
+   mid-recovery oracle has bounded the recovered values the model rebases
+   on them: they are the baseline the completion life builds on. *)
+let mg_rebase sh mig model =
+  for k = 0 to migrate_nkeys - 1 do
+    let o = Mig.owner mig k in
+    let v = Int64.to_int (Mig.Sh.Engine.heap_read_u64 (Mig.Sh.engine sh o) (mg_slot k)) in
+    model.mg_committed.(k) <- v;
+    if model.mg_acked.(k) > v then model.mg_acked.(k) <- v
+  done
+
+(* The deterministic resharding schedule under traffic: per move, a full
+   round of increments, then chunked copy interleaved with double-writes
+   in the moving range and traffic outside it, the flip, a post-flip
+   commit routed to the new owner, and chunked cleanup under traffic. *)
+let mg_schedule mig model =
+  let round () =
+    for k = 0 to migrate_nkeys - 1 do
+      mg_bump mig model ~thread:(k mod 3) k
+    done
+  in
+  List.iter
+    (fun (src, dst, b) ->
+      round ();
+      Mig.begin_migration mig ~src ~dst ~blo:b ~bhi:(b + 1);
+      let kin = 2 * b and kout = ((2 * b) + 5) mod migrate_nkeys in
+      let fin = ref false in
+      while not !fin do
+        fin := Mig.copy_step ~chunk:1 mig ~thread:0;
+        mg_bump mig model ~thread:1 kin;
+        mg_bump mig model ~thread:2 kout
+      done;
+      Mig.flip mig;
+      mg_bump mig model ~thread:0 ((2 * b) + 1);
+      let fin = ref false in
+      while not !fin do
+        fin := Mig.cleanup_step ~chunk:2 mig ~thread:0;
+        mg_bump mig model ~thread:1 kout
+      done)
+    mg_moves;
+  round ()
+
+(* After a re-attach: finish any pending cleanup, re-run every move the
+   descriptor still shows unfinished, then one more round to prove the
+   recovered instance routes and commits. *)
+let mg_complete mig model =
+  (match Mig.migrating mig with
+  | Some (_, Handoff.Cleanup) ->
+    while not (Mig.cleanup_step ~chunk:4 mig ~thread:0) do
+      ()
+    done
+  | Some _ -> ()
+  | None -> ());
+  let owners = Partition.owners (Mig.partition mig) in
+  List.iter
+    (fun (src, dst, b) ->
+      if owners.(b) = src then Mig.migrate ~chunk:1 mig ~thread:0 ~src ~dst ~blo:b ~bhi:(b + 1))
+    mg_moves;
+  for k = 0 to migrate_nkeys - 1 do
+    mg_bump mig model ~thread:(k mod 3) k
+  done
+
+(* One full campaign run: first life (cut at boundary [crash], counted
+   across all devices), attach with hooks re-armed (so [crash2] can land
+   inside recovery itself), completion life, attach after any second cut,
+   completion again, final oracle.  Returns (verdict, first-life sites,
+   second-count sites). *)
+let migrate_run ~fault ~crash ~crash2 =
+  let cfg = dude_cfg ~combine:false ~fault in
+  let part =
+    Partition.buckets ~nshards:migrate_nshards ~lo:0L ~hi:(Int64.of_int migrate_nkeys)
+      ~owners:mg_initial_owners
+  in
+  let sh = Mig.Sh.create ~nshards:migrate_nshards cfg in
+  let mig = Mig.create sh ~part ~nkeys:migrate_nkeys ~slot_of:mg_slot in
+  let model = mg_model () in
+  let sites = ref 0 in
+  let cut_at = ref crash in
+  let cur_sh = ref sh in
+  let hook () =
+    incr sites;
+    let shh = !cur_sh in
+    let f = Mig.Sh.global_frontier shh in
+    if f > model.mg_fmax then model.mg_fmax <- f;
+    Array.iteri
+      (fun s e -> if e > model.mg_emax.(s) then model.mg_emax.(s) <- e)
+      (Mig.Sh.effective_vector shh);
+    for k = 0 to migrate_nkeys - 1 do
+      let q = model.mg_pending.(k) in
+      let go = ref true in
+      while !go && not (Queue.is_empty q) do
+        let sat =
+          match Queue.peek q with
+          | Mg_local (s, tid) -> model.mg_emax.(s) >= tid
+          | Mg_cross g -> model.mg_fmax >= g
+        in
+        if sat then begin
+          ignore (Queue.pop q);
+          model.mg_acked.(k) <- model.mg_acked.(k) + 1
+        end
+        else go := false
+      done
+    done;
+    match !cut_at with Some c when !sites = c -> raise Crash_now | _ -> ()
+  in
+  let nvms = Array.init migrate_nshards (Mig.Sh.nvm sh) in
+  let arm () = Array.iter (fun n -> Nvm.set_persist_hook n (Some hook)) nvms in
+  let disarm () = Array.iter (fun n -> Nvm.set_persist_hook n None) nvms in
+  let crashed = ref false in
+  let err = ref None in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            Mig.Sh.start sh;
+            arm ();
+            mg_schedule mig model;
+            disarm ();
+            Mig.Sh.stop sh))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> err := Some ("deadlock: " ^ msg)
+  | e -> err := Some ("engine raised " ^ Printexc.to_string e));
+  disarm ();
+  let sites1 = !sites in
+  match !err with
+  | Some reason -> (Some reason, sites1, 0)
+  | None ->
+    if not !crashed then (mg_oracle ~final:true sh mig model, sites1, 0)
+    else begin
+      mg_void_pending model;
+      Array.iter Nvm.crash nvms;
+      sites := 0;
+      cut_at := crash2;
+      arm ();
+      (* Attach with hooks armed: the second cut may land between the
+         handoff journal's own recovery seals. *)
+      let attach_once () =
+        let sh2, _rep = Mig.Sh.attach ~nshards:migrate_nshards cfg nvms in
+        cur_sh := sh2;
+        let mig2, _resume = Mig.attach sh2 ~nkeys:migrate_nkeys ~slot_of:mg_slot in
+        (sh2, mig2)
+      in
+      let complete_life sh2 mig2 =
+        Sched.run (fun () ->
+            Mig.Sh.start sh2;
+            mg_complete mig2 model;
+            disarm ();
+            Mig.Sh.stop sh2)
+      in
+      let final_life () =
+        (* No further cuts: attach once more and finish the schedule. *)
+        mg_void_pending model;
+        disarm ();
+        Array.iter Nvm.crash nvms;
+        match attach_once () with
+        | exception e -> Some ("re-recovery raised " ^ Printexc.to_string e)
+        | sh3, mig3 -> (
+          match mg_oracle ~final:false sh3 mig3 model with
+          | Some r -> Some r
+          | None -> (
+            mg_rebase sh3 mig3 model;
+            match Sched.run (fun () ->
+                      Mig.Sh.start sh3;
+                      mg_complete mig3 model;
+                      Mig.Sh.stop sh3)
+            with
+            | _ -> mg_oracle ~final:true sh3 mig3 model
+            | exception Sched.Deadlock msg -> Some ("deadlock after re-recovery: " ^ msg)
+            | exception e -> Some ("re-recovered engine raised " ^ Printexc.to_string e)))
+      in
+      match attach_once () with
+      | exception Crash_now -> (final_life (), sites1, !sites)
+      | exception e -> (Some ("recovery raised " ^ Printexc.to_string e), sites1, !sites)
+      | sh2, mig2 -> (
+        match mg_oracle ~final:false sh2 mig2 model with
+        | Some r -> (Some r, sites1, !sites)
+        | None -> (
+          mg_rebase sh2 mig2 model;
+          match complete_life sh2 mig2 with
+          | _ -> (mg_oracle ~final:true sh2 mig2 model, sites1, !sites)
+          | exception Crash_now -> (final_life (), sites1, !sites)
+          | exception Sched.Deadlock msg -> (Some ("deadlock: " ^ msg), sites1, !sites)
+          | exception e ->
+            (Some ("recovered engine raised " ^ Printexc.to_string e), sites1, !sites)))
+    end
+
+let check_migrate ?(fault = Config.No_fault) ?(log = fun _ -> ()) ?only_crash ?only_crash2 ()
+    =
+  let fail ~crash ~crash2 reason =
+    Migrate_fail { mg_fault = fault; mg_crash = crash; mg_crash2 = crash2; mg_reason = reason }
+  in
+  match only_crash with
+  | Some k -> (
+    match migrate_run ~fault ~crash:(Some k) ~crash2:only_crash2 with
+    | Some reason, _, _ -> fail ~crash:(Some k) ~crash2:only_crash2 reason
+    | None, s1, s2 -> Migrate_pass { runs = 1; boundaries = s1 + s2 })
+  | None -> (
+    log
+      (Printf.sprintf "migrate: live 4->8 resharding, %d shards, %d keys, clean run"
+         migrate_nshards migrate_nkeys);
+    match migrate_run ~fault ~crash:None ~crash2:None with
+    | Some reason, _, _ -> fail ~crash:None ~crash2:None reason
+    | None, total, _ ->
+      let budget = shard_sites_budget () in
+      let runs = ref 1 in
+      let result = ref None in
+      let picks =
+        if total <= budget then List.init total (fun i -> i + 1)
+        else List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+      in
+      log
+        (Printf.sprintf "migrate: %d persist boundaries, cutting power at %d of them" total
+           (List.length picks));
+      List.iter
+        (fun k ->
+          if !result = None then begin
+            incr runs;
+            match migrate_run ~fault ~crash:(Some k) ~crash2:None with
+            | Some reason, _, _ -> result := Some (fail ~crash:(Some k) ~crash2:None reason)
+            | None, _, _ -> ()
+          end)
+        picks;
+      (* Two-deep: a handful of first cuts, each re-cut at a spread of
+         boundaries counted from the re-attach on — recovery's own handoff
+         seals included. *)
+      if !result = None then begin
+        let n1 = max 3 (budget / 20) in
+        let firsts = sample_sites ~s:total ~n:n1 in
+        log
+          (Printf.sprintf "migrate: two-deep, re-cutting recovery after %d first cuts"
+             (List.length firsts));
+        List.iter
+          (fun k1 ->
+            if !result = None then begin
+              incr runs;
+              match migrate_run ~fault ~crash:(Some k1) ~crash2:None with
+              | Some reason, _, _ ->
+                result := Some (fail ~crash:(Some k1) ~crash2:None reason)
+              | None, _, total2 ->
+                List.iter
+                  (fun k2 ->
+                    if !result = None then begin
+                      incr runs;
+                      match migrate_run ~fault ~crash:(Some k1) ~crash2:(Some k2) with
+                      | Some reason, _, _ ->
+                        result := Some (fail ~crash:(Some k1) ~crash2:(Some k2) reason)
+                      | None, _, _ -> ()
+                    end)
+                  (sample_sites ~s:total2 ~n:(max 3 (budget / 20)))
+            end)
+          firsts
+      end;
+      match !result with
+      | Some f -> f
+      | None -> Migrate_pass { runs = !runs; boundaries = total })

@@ -545,3 +545,60 @@ val check_replica :
     them (the [DUDETM_CHECK_BUDGET]-scaled site budget, split across
     scenarios).  [scenario] restricts the sweep; [scenario] plus
     [only_crash] replays exactly one case. *)
+
+(** {1 Live-migration (resharding) crash campaign}
+
+    [dudetm check --migrate] drives a live 4->8 resharding — 8 engines, an
+    8-bucket partition initially owned by shards 0-3, four migrations each
+    handing an odd bucket to a fresh shard 4-7 — under application traffic
+    that keeps landing increments inside and outside the moving range, and
+    cuts power at persist boundaries counted across every device, so cuts
+    fall inside the double-write window, between the flip's three handoff
+    seals, and mid-cleanup.  After each cut the shards re-attach, the
+    handoff journal votes roll-back or roll-forward, the schedule is
+    completed, and the oracle verifies:
+
+    - {b routing}: the persisted partition descriptor unseals (CRC + shard
+      count) and routes every key to exactly one shard;
+    - {b no acked write lost}: each key's value at its descriptor-routed
+      owner covers everything the sampled vector watermark acknowledged,
+      and never exceeds the commit count;
+    - {b convergence}: the completed schedule reaches the final owner
+      table with exact counts and every moved range's source slots
+      recycled to zero (no unreachable heap extents).
+
+    The two-deep leg re-arms the crash hooks before the first re-attach,
+    so the second cut can land between recovery's own handoff seals; the
+    third attach must still converge.  The campaign validates itself
+    against the seeded {!Dudetm_core.Config.Skip_handoff_seal} mutant,
+    which flips volatile routing without sealing the handoff record or
+    the new descriptor. *)
+
+type migrate_failure = {
+  mg_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  mg_crash : int option;
+      (** failing persist boundary; [None]: the quiescent run *)
+  mg_crash2 : int option;
+      (** second cut, counted from the first re-attach on *)
+  mg_reason : string;
+}
+
+type migrate_report =
+  | Migrate_pass of { runs : int; boundaries : int }
+  | Migrate_fail of migrate_failure
+
+val migrate_replay_line : migrate_failure -> string
+(** The replayable [dudetm check --migrate ...] one-liner. *)
+
+val check_migrate :
+  ?fault:Dudetm_core.Config.fault ->
+  ?log:(string -> unit) ->
+  ?only_crash:int ->
+  ?only_crash2:int ->
+  unit ->
+  migrate_report
+(** Run the campaign: one clean resharding run counts the persist
+    boundaries, then power cuts at an evenly-spread sample of them (the
+    [DUDETM_CHECK_BUDGET]-scaled site budget), then the two-deep sweep.
+    [only_crash] (optionally with [only_crash2]) replays exactly one
+    case. *)

@@ -9,6 +9,7 @@ type fault =
   | Skip_fragment_gate
   | Skip_batch_seal
   | Skip_quorum_gate
+  | Skip_handoff_seal
 
 exception Invalid_config of string
 
@@ -124,7 +125,15 @@ let rjournal_base t = badline_base t + badline_size t
    bytes so slot writes never share a cache line. *)
 let rjournal_size t = line_align t 256
 
-let plog_base t i = rjournal_base t + rjournal_size t + (i * t.plog_size)
+let hjournal_base t = rjournal_base t + rjournal_size t
+
+(* Two double-slot records for the shard-migration coordinator (device 0
+   of a sharded instance): the handoff record at +0 and the partition
+   descriptor at +256.  Every device reserves the region so the layout is
+   uniform; unsharded engines simply never touch it. *)
+let hjournal_size t = line_align t 512
+
+let plog_base t i = hjournal_base t + hjournal_size t + (i * t.plog_size)
 
 let nvm_size t =
   (* Pad to a page: the paged shadow views the whole device and requires a

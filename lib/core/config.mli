@@ -8,6 +8,7 @@
       [.., +crcdir_size)                  per-extent heap CRC directory
       [.., +badline_size)                 persistent bad-line table
       [.., +rjournal_size)                recovery intent journal
+      [.., +hjournal_size)                migration handoff journal
       [.., +plog_regions * plog_size)     persistent redo-log rings
     v} *)
 
@@ -70,6 +71,14 @@ type fault =
           flight to the replicas loses acknowledged transactions on
           failover.  Validates the replicated-durability campaign
           ([dudetm check --replica]). *)
+  | Skip_handoff_seal
+      (** The live-migration coordinator flips key-range ownership in
+          volatile routing {e without} sealing the handoff record and the
+          new partition descriptor first: a power cut after the flip makes
+          recovery read the stale descriptor, route the migrated range back
+          to the source shard, and lose every write acknowledged on the new
+          owner.  Validates the migration campaign
+          ([dudetm check --migrate]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)
@@ -171,6 +180,13 @@ val rjournal_base : t -> int
 (** Base of the double-slot CRC-sealed recovery intent journal. *)
 
 val rjournal_size : t -> int
+
+val hjournal_base : t -> int
+(** Base of the migration handoff journal: two double-slot CRC-sealed
+    records (handoff phase at [+0], partition descriptor at [+256]) used by
+    the shard-migration coordinator on device 0 of a sharded instance. *)
+
+val hjournal_size : t -> int
 
 val plog_base : t -> int -> int
 (** Base offset of ring [i]. *)

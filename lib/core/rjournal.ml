@@ -1,6 +1,75 @@
 module Nvm = Dudetm_nvm.Nvm
 module Checksum = Dudetm_log.Checksum
 
+(* ------------------------------------------------------------------ *)
+(* Generic double-slot CRC-sealed record machinery                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by the recovery intent journal below and the shard-migration
+   handoff journal (lib/shard/handoff.ml).  Each 128-byte slot holds
+   seq u64 | kind u64 | len u64 | payload (len <= 12 u64s) | crc u64, the
+   CRC32 covering everything before it.  Writers alternate slots with a
+   monotone sequence number, so a torn write simply leaves the twin — the
+   previous sealed record — in force. *)
+module Slots = struct
+  let slot_size = 128
+
+  let max_payload = 12
+
+  let encode ~seq ~kind payload =
+    let len = Array.length payload in
+    if len > max_payload then invalid_arg "Rjournal.Slots: payload too long";
+    let used = 24 + (8 * len) + 8 in
+    let b = Bytes.make used '\000' in
+    Bytes.set_int64_le b 0 (Int64.of_int seq);
+    Bytes.set_int64_le b 8 (Int64.of_int kind);
+    Bytes.set_int64_le b 16 (Int64.of_int len);
+    Array.iteri (fun i w -> Bytes.set_int64_le b (24 + (8 * i)) w) payload;
+    let crc = Checksum.crc32 b 0 (used - 8) in
+    Bytes.set_int64_le b (used - 8) (Int64.of_int32 crc);
+    b
+
+  let write nvm ~base ~slot ~seq ~kind payload =
+    let b = encode ~seq ~kind payload in
+    let off = base + (slot * slot_size) in
+    Nvm.store_bytes nvm off b;
+    Nvm.persist nvm ~off ~len:(Bytes.length b)
+
+  let read_raw nvm ~slot_base =
+    let b = Nvm.load_bytes nvm slot_base slot_size in
+    let len = Int64.to_int (Bytes.get_int64_le b 16) in
+    if len < 0 || len > max_payload then None
+    else begin
+      let used = 24 + (8 * len) + 8 in
+      let crc = Int64.to_int32 (Bytes.get_int64_le b (used - 8)) in
+      if Checksum.crc32 b 0 (used - 8) <> crc then None
+      else
+        let seq = Int64.to_int (Bytes.get_int64_le b 0) in
+        let kind = Int64.to_int (Bytes.get_int64_le b 8) in
+        let payload = Array.init len (fun i -> Bytes.get_int64_le b (24 + (8 * i))) in
+        Some (seq, kind, payload)
+    end
+
+  let read nvm ~base ~slot =
+    match read_raw nvm ~slot_base:(base + (slot * slot_size)) with
+    | exception Nvm.Media_error _ -> None  (* a poisoned slot is just an invalid slot *)
+    | r -> r
+
+  (* Newest valid record and the slot it lives in; [None] when both slots
+     are torn or poisoned (nothing was ever sealed). *)
+  let newest nvm ~base =
+    match (read nvm ~base ~slot:0, read nvm ~base ~slot:1) with
+    | None, None -> None
+    | Some (seq, kind, p), None -> Some (seq, kind, p, 0)
+    | None, Some (seq, kind, p) -> Some (seq, kind, p, 1)
+    | Some (q0, k0, p0), Some (q1, k1, p1) ->
+      if q0 > q1 then Some (q0, k0, p0, 0) else Some (q1, k1, p1, 1)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery intent journal                                             *)
+(* ------------------------------------------------------------------ *)
+
 type verdict = {
   v_durable : int;
   v_replayed_txs : int;
@@ -23,17 +92,10 @@ type t = {
   mutable current : intent;
 }
 
-(* Slot layout: seq u64, kind u64, six payload u64s, crc u64.  The CRC
-   covers everything before it.  Slots are 128 bytes apart so the two
-   never share a cache line. *)
-let slot_size = 128
-
-let slot_bytes = 72
-
 let kind_of = function Idle -> 0 | Replay _ -> 1 | Probe _ -> 2
 
 let payload_of = function
-  | Idle -> [| 0L; 0L; 0L; 0L; 0L; 0L |]
+  | Idle -> [||]
   | Replay v ->
     [|
       Int64.of_int v.v_durable;
@@ -43,55 +105,29 @@ let payload_of = function
       Int64.of_int v.v_corrupted_records;
       Int64.of_int v.v_quarantined_lines;
     |]
-  | Probe { line; original } ->
-    [| Int64.of_int line; original; 0L; 0L; 0L; 0L |]
+  | Probe { line; original } -> [| Int64.of_int line; original |]
 
-let encode intent ~seq =
-  let b = Bytes.make slot_bytes '\000' in
-  Bytes.set_int64_le b 0 (Int64.of_int seq);
-  Bytes.set_int64_le b 8 (Int64.of_int (kind_of intent));
-  Array.iteri (fun i w -> Bytes.set_int64_le b (16 + (8 * i)) w) (payload_of intent);
-  let crc = Checksum.crc32 b 0 (slot_bytes - 8) in
-  Bytes.set_int64_le b (slot_bytes - 8) (Int64.of_int32 crc);
-  b
-
-let decode_raw nvm ~slot_base =
-  let b = Nvm.load_bytes nvm slot_base slot_bytes in
-  let crc = Int64.to_int32 (Bytes.get_int64_le b (slot_bytes - 8)) in
-  if Checksum.crc32 b 0 (slot_bytes - 8) <> crc then None
-  else begin
-    let seq = Int64.to_int (Bytes.get_int64_le b 0) in
-    let word i = Bytes.get_int64_le b (16 + (8 * i)) in
-    let int i = Int64.to_int (word i) in
-    match Int64.to_int (Bytes.get_int64_le b 8) with
-    | 0 -> Some (seq, Idle)
-    | 1 ->
-      Some
-        ( seq,
-          Replay
-            {
-              v_durable = int 0;
-              v_replayed_txs = int 1;
-              v_discarded_txs = int 2;
-              v_discarded_records = int 3;
-              v_corrupted_records = int 4;
-              v_quarantined_lines = int 5;
-            } )
-    | 2 -> Some (seq, Probe { line = int 0; original = word 1 })
-    | _ -> None
-  end
-
-let decode nvm ~slot_base =
-  match decode_raw nvm ~slot_base with
-  | exception Nvm.Media_error _ -> None  (* a poisoned slot is just an invalid slot *)
-  | r -> r
-
-let slot_base t i = t.base + (i * slot_size)
+let intent_of ~kind payload =
+  let word i = if i < Array.length payload then payload.(i) else 0L in
+  let int i = Int64.to_int (word i) in
+  match kind with
+  | 0 -> Some Idle
+  | 1 ->
+    Some
+      (Replay
+         {
+           v_durable = int 0;
+           v_replayed_txs = int 1;
+           v_discarded_txs = int 2;
+           v_discarded_records = int 3;
+           v_corrupted_records = int 4;
+           v_quarantined_lines = int 5;
+         })
+  | 2 -> Some (Probe { line = int 0; original = word 1 })
+  | _ -> None
 
 let write_slot t slot intent ~seq =
-  let b = encode intent ~seq in
-  Nvm.store_bytes t.nvm (slot_base t slot) b;
-  Nvm.persist t.nvm ~off:(slot_base t slot) ~len:(Bytes.length b)
+  Slots.write t.nvm ~base:t.base ~slot ~seq ~kind:(kind_of intent) (payload_of intent)
 
 let format nvm ~base =
   let t = { nvm; base; next_seq = 2; next_slot = 0; current = Idle } in
@@ -100,20 +136,15 @@ let format nvm ~base =
   t
 
 let attach nvm ~base =
-  let s0 = decode nvm ~slot_base:base in
-  let s1 = decode nvm ~slot_base:(base + slot_size) in
-  match (s0, s1) with
-  | None, None ->
+  match Slots.newest nvm ~base with
+  | None ->
     (* Both slots torn or poisoned: no intent can have been sealed, so the
        only safe reading is "no recovery in progress".  Self-heal. *)
     format nvm ~base
-  | Some (seq, it), None ->
-    { nvm; base; next_seq = seq + 1; next_slot = 1; current = it }
-  | None, Some (seq, it) ->
-    { nvm; base; next_seq = seq + 1; next_slot = 0; current = it }
-  | Some (q0, i0), Some (q1, i1) ->
-    if q0 > q1 then { nvm; base; next_seq = q0 + 1; next_slot = 1; current = i0 }
-    else { nvm; base; next_seq = q1 + 1; next_slot = 0; current = i1 }
+  | Some (seq, kind, payload, slot) -> (
+    match intent_of ~kind payload with
+    | Some it -> { nvm; base; next_seq = seq + 1; next_slot = 1 - slot; current = it }
+    | None -> format nvm ~base)
 
 let read t = t.current
 

@@ -27,6 +27,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     retry_base : int;
     retry_cap : int;
     window : int;
+    max_retained : int;
   }
 
   let default_config ?(nreplicas = 3) () =
@@ -40,6 +41,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       retry_base = 8 * link.Link.latency;
       retry_cap = 64 * link.Link.latency;
       window = 8;
+      (* A partitioned follower must not pin unbounded primary DRAM: past
+         this many retained batches the laggard is cut off instead. *)
+      max_retained = 4096;
     }
 
   (* A sealed batch retained (in DRAM) for retransmission. *)
@@ -66,6 +70,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     mutable acked_hi : int;  (* its durable ID (the quorum vector entry) *)
     mutable retries : int;  (* consecutive silent retransmit rounds *)
     mutable next_retry : int;  (* timer deadline; 0 = unarmed *)
+    mutable cut_off : bool;  (* lagged past max_retained; needs a resync *)
   }
 
   type t = {
@@ -78,6 +83,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     mutable last_broadcast : int;
     mutable last_broadcast_at : int;
     mutable degraded : string option;
+    mutable lag_alarm : string option;  (* sticky: set when the cap trips *)
     retry_rng : Rng.t;
     stats : Stats.t;
     mutable stopped : bool;
@@ -117,6 +123,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             acked_hi = 0;
             retries = 0;
             next_retry = 0;
+            cut_off = false;
           })
     in
     {
@@ -129,6 +136,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       last_broadcast = 0;
       last_broadcast_at = 0;
       degraded = None;
+      lag_alarm = None;
       retry_rng = Rng.create (((cfg.Config.seed * 37) + 0x5e91) land max_int);
       stats = Stats.create ();
       stopped = false;
@@ -161,8 +169,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       Trace.instant ~cat:"replica" "ack" wm
     end;
     if t.degraded <> None && t.acked_watermark >= d then t.degraded <- None;
-    (* Retire batches every replica has acknowledged. *)
-    let min_hi = Array.fold_left (fun acc r -> min acc r.acked_hi) max_int t.reps in
+    (* Retire batches every replica still being served has acknowledged;
+       a cut-off replica no longer pins retention (that is the point of
+       cutting it off). *)
+    let min_hi =
+      Array.fold_left
+        (fun acc r -> if r.cut_off then acc else min acc r.acked_hi)
+        max_int t.reps
+    in
     let rec prune () =
       match Queue.peek_opt t.shipments with
       | Some s when s.sp_hi <= min_hi ->
@@ -190,6 +204,35 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
               payload = s.sp_payload;
             }))
 
+  (* Bounded retention: the retransmit queue may not outgrow
+     [max_retained].  When it would, the oldest batches are dropped and
+     any replica that still needed them is cut off — retransmission can
+     no longer heal it (a real deployment would resync it from a
+     checkpoint), and the condition is reported as a sticky
+     [Replica_lag]-shaped diagnostic through {!health} instead of
+     pinning unbounded primary DRAM. *)
+  let enforce_retention t =
+    let cap = t.rcfg.max_retained in
+    if cap > 0 then
+      while Queue.length t.shipments > cap do
+        let s = Queue.pop t.shipments in
+        Stats.incr t.stats "retention_drops";
+        Array.iter
+          (fun r ->
+            if (not r.cut_off) && r.acked_hi < s.sp_hi then begin
+              r.cut_off <- true;
+              Stats.incr t.stats "replicas_cut_off";
+              Trace.instant ~cat:"replica" "cut_off" r.idx;
+              t.lag_alarm <-
+                Some
+                  (Printf.sprintf
+                     "Replica_lag: replica %d cut off at acked=%d — batch [%d,%d] \
+                      dropped by the %d-batch retransmit retention; resync required"
+                     r.idx r.acked_hi s.sp_lo s.sp_hi cap)
+            end)
+          t.reps
+      done
+
   let on_ship t (sh : Dudetm.shipment) =
     Trace.span ~cat:"replica" "ship" @@ fun () ->
     recompute t;
@@ -202,8 +245,10 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       }
     in
     Queue.push s t.shipments;
+    enforce_retention t;
     Stats.incr t.stats "batches_shipped";
-    Array.iter (fun r -> send_batch t r s) t.reps
+    (* A cut-off replica would only hoard the new frames out of order. *)
+    Array.iter (fun r -> if not r.cut_off then send_batch t r s) t.reps
 
   let backoff t k =
     let ceiling = min t.rcfg.retry_cap (t.rcfg.retry_base lsl min k 16) in
@@ -217,6 +262,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Array.iter
       (fun r ->
         let behind =
+          (not r.cut_off)
+          &&
           match Queue.peek_opt t.shipments with
           | None -> false
           | Some _ ->
@@ -420,10 +467,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       Array.to_list
         (Array.map
            (fun r ->
-             Printf.sprintf "r%d{acked=%d lag=%d part=%b retries=%d}" r.idx r.acked_hi
+             Printf.sprintf "r%d{acked=%d lag=%d part=%b retries=%d%s}" r.idx r.acked_hi
                (d - r.acked_hi)
                (Link.partitioned r.down || Link.partitioned r.up)
-               r.retries)
+               r.retries
+               (if r.cut_off then " CUT" else ""))
            t.reps)
     in
     Printf.sprintf
@@ -500,7 +548,17 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     Array.iter (fun r -> Engine.stop_follower r.eng) t.reps;
     t.stopped <- true
 
-  let health t = match t.degraded with None -> Healthy | Some d -> Degraded d
+  (* A tripped retention cap is sticky: the cut-off replica stays broken
+     (it needs a resync) even after quorum acks catch back up. *)
+  let health t =
+    match (t.degraded, t.lag_alarm) with
+    | Some d, _ -> Degraded d
+    | None, Some d -> Degraded d
+    | None, None -> Healthy
+
+  let cut_off t = Array.map (fun r -> r.cut_off) t.reps
+
+  let retained t = Queue.length t.shipments
 
   let set_partitioned t i p =
     let r = t.reps.(i) in

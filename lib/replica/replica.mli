@@ -68,10 +68,19 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
             capped — the PR 3 supervisor backoff shape *)
     retry_cap : int;
     window : int;  (** max batches retransmitted per round *)
+    max_retained : int;
+        (** retransmit-retention bound (batches, 0 = unbounded): past it
+            the oldest batches are dropped and any replica still needing
+            them is {e cut off} — excluded from retransmission and from
+            retention accounting, reported through {!Make.health} as a
+            sticky [Replica_lag]-shaped diagnostic.  Bounds primary DRAM
+            under a long partition; the cut-off follower would need an
+            out-of-band resync in a real deployment. *)
   }
 
   val default_config : ?nreplicas:int -> unit -> config
-  (** 3 replicas; retransmit timer derived from the link latency. *)
+  (** 3 replicas; retransmit timer derived from the link latency;
+      [max_retained = 4096]. *)
 
   (** {1 Lifecycle} *)
 
@@ -112,6 +121,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
       replica state, and for clean shutdown. *)
 
   val health : t -> health
+  (** [Degraded] after a quorum timeout {e or} — stickily — after the
+      retransmit-retention cap cut a replica off. *)
+
+  val cut_off : t -> bool array
+  (** Per replica: has it lagged past [max_retained] and been cut off? *)
+
+  val retained : t -> int
+  (** Batches currently held for retransmission (always ≤ [max_retained]
+      when the cap is enabled). *)
 
   (** {1 Partitions} *)
 
@@ -163,5 +181,6 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   (** ["batches_shipped"], ["batches_applied"], ["acks_received"],
       ["dup_frames"], ["ooo_frames"], ["crc_rejected"], ["retransmits"],
       ["retransmit_rounds"], ["backoff_cycles"], ["degraded_acks"],
-      ["watermark_broadcasts"]. *)
+      ["watermark_broadcasts"], ["retention_drops"],
+      ["replicas_cut_off"]. *)
 end

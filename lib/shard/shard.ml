@@ -170,6 +170,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let stats t = t.stats
 
+  let last_cross_gtid t = t.next_gtid
+
   (* ------------------------------------------------------------------ *)
   (* Transactions                                                        *)
   (* ------------------------------------------------------------------ *)

@@ -121,6 +121,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val global_frontier : t -> int
   (** GF: every cross-shard transaction at or below it is fully durable. *)
 
+  val last_cross_gtid : t -> int
+  (** The largest gtid drawn so far; [global_frontier t >=
+      last_cross_gtid t] means every cross-shard transaction committed so
+      far is fully durable (the migration flip's durability gate). *)
+
   val wait_durable : t -> ack -> unit
   (** Block until the acknowledgement is crash-safe under the vector
       watermark. *)

@@ -22,6 +22,7 @@ let () =
       ("batch", Test_batch.suite);
       ("shard", Test_shard.suite);
       ("partition", Test_partition.suite);
+      ("migrate", Test_migrate.suite);
       ("differential", Test_differential.suite);
       ("replica", Test_replica.suite);
     ]

@@ -105,10 +105,140 @@ let test_stable_across_reattach () =
   let after = List.map (Partition.shard_of p') sample_keys in
   List.iter2 (fun b a -> check Alcotest.int "assignment survives re-attach" b a) before after
 
+(* ----------------------- degenerate range shapes ------------------------- *)
+
+let rejects name f =
+  match f () with
+  | _ -> Alcotest.failf "%s accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_degenerate_ranges () =
+  (* Empty ranges and empty/bad owner tables are rejected eagerly. *)
+  rejects "empty range" (fun () -> Partition.range ~nshards:4 ~lo:10L ~hi:10L);
+  rejects "inverted range" (fun () -> Partition.range ~nshards:4 ~lo:10L ~hi:3L);
+  rejects "empty bucket range" (fun () ->
+      Partition.buckets ~nshards:4 ~lo:7L ~hi:7L ~owners:[| 0 |]);
+  rejects "no buckets" (fun () ->
+      Partition.buckets ~nshards:4 ~lo:0L ~hi:8L ~owners:[||]);
+  rejects "owner out of range" (fun () ->
+      Partition.buckets ~nshards:4 ~lo:0L ~hi:8L ~owners:[| 0; 4 |]);
+  (* Single-key range: one key, everything clamps onto it. *)
+  let single = Partition.buckets ~nshards:4 ~lo:7L ~hi:8L ~owners:[| 3 |] in
+  check Alcotest.int "the single key maps to its owner" 3 (Partition.shard_of single 7L);
+  check Alcotest.int "below the single key clamps" 3
+    (Partition.shard_of single Int64.min_int);
+  check Alcotest.int "above the single key clamps" 3
+    (Partition.shard_of single Int64.max_int);
+  check Alcotest.int "one bucket" 1 (Partition.nbuckets single);
+  (* Full keyspace [min_int, max_int): the span wraps signed subtraction,
+     so this exercises the unsigned width arithmetic. *)
+  let full = Partition.range ~nshards:4 ~lo:Int64.min_int ~hi:Int64.max_int in
+  check Alcotest.int "min_int lands on the first shard" 0
+    (Partition.shard_of full Int64.min_int);
+  check Alcotest.int "max_int-1 lands on the last shard" 3
+    (Partition.shard_of full (Int64.sub Int64.max_int 1L));
+  check Alcotest.int "zero is the midpoint" 2 (Partition.shard_of full 0L);
+  let samples =
+    [ Int64.min_int; Int64.div Int64.min_int 2L; -1L; 0L; Int64.div Int64.max_int 2L;
+      Int64.sub Int64.max_int 1L ]
+  in
+  let prev = ref 0 in
+  List.iter
+    (fun k ->
+      let s = Partition.shard_of full k in
+      Alcotest.(check bool) "full-keyspace placement is monotone" true (s >= !prev);
+      prev := s)
+    samples
+
+(* --------------------- sealed bucket descriptors ------------------------- *)
+
+let invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s accepted" name
+  | exception Partition.Invalid_partition _ -> ()
+
+let test_buckets_seal_unseal () =
+  let p =
+    Partition.buckets ~nshards:8 ~lo:0L ~hi:1024L ~owners:[| 0; 0; 1; 1; 2; 2; 3; 3 |]
+  in
+  let s = Partition.seal p in
+  check Alcotest.int "sealed_words counts the CRC word" (Array.length s)
+    (Partition.sealed_words p);
+  let p' = Partition.unseal ~expect_nshards:8 s in
+  check Alcotest.bool "owners survive the seal roundtrip" true
+    (Partition.owners p = Partition.owners p');
+  List.iter
+    (fun k ->
+      check Alcotest.int "same assignment after unseal" (Partition.shard_of p k)
+        (Partition.shard_of p' k))
+    sample_keys;
+  invalid "CRC-corrupt descriptor" (fun () ->
+      let c = Array.copy s in
+      c.(1) <- Int64.logxor c.(1) 0x40L;
+      Partition.unseal c);
+  invalid "shard-count mismatch" (fun () -> Partition.unseal ~expect_nshards:4 s);
+  invalid "short sealed descriptor" (fun () -> Partition.unseal (Array.sub s 0 2));
+  invalid "truncated owner table" (fun () ->
+      Partition.unseal (Array.sub s 0 (Array.length s - 1)))
+
+(* -------------------- split, then merge, across re-attach ----------------- *)
+
+(* Ownership edits persisted through the handoff journal's descriptor
+   record: split a bucket off to another shard, power-cut, re-attach, then
+   merge it back, power-cut, re-attach — the final mapping must be the
+   original one, under a strictly newer epoch. *)
+let test_split_merge_roundtrip_across_reattach () =
+  let nshards = 4 in
+  let cfg =
+    {
+      Config.default with
+      Config.heap_size = 1 lsl 16;
+      nthreads = 2;
+      vlog_capacity = 256;
+      plog_size = 1 lsl 13;
+      meta_size = 8192;
+      checkpoint_records = 2;
+    }
+  in
+  let part0 =
+    Partition.buckets ~nshards ~lo:0L ~hi:1024L ~owners:[| 0; 1; 2; 3 |]
+  in
+  let before = List.map (Partition.shard_of part0) sample_keys in
+  let sh = Sh.create ~nshards cfg in
+  let dev0 = Sh.nvm sh 0 in
+  let base = Config.hjournal_base cfg in
+  let module Handoff = Dudetm_shard.Handoff in
+  let hj = Handoff.format dev0 ~base ~part:part0 ~epoch:1 in
+  (* Split: bucket 1 moves from shard 1 to shard 3. *)
+  Handoff.seal_descriptor hj (Partition.with_owner part0 ~blo:1 ~bhi:2 ~owner:3)
+    ~epoch:2;
+  Nvm.crash dev0;
+  let hj2 = Handoff.attach dev0 ~base ~nshards in
+  check Alcotest.int "split survives the re-attach" 3
+    (Partition.owners (Handoff.partition hj2)).(1);
+  check Alcotest.int "split epoch" 2 (Handoff.epoch hj2);
+  (* Merge: hand the bucket back to shard 1. *)
+  Handoff.seal_descriptor hj2
+    (Partition.with_owner (Handoff.partition hj2) ~blo:1 ~bhi:2 ~owner:1)
+    ~epoch:3;
+  Nvm.crash dev0;
+  let hj3 = Handoff.attach dev0 ~base ~nshards in
+  check Alcotest.int "merge epoch is strictly newer" 3 (Handoff.epoch hj3);
+  let after = List.map (Partition.shard_of (Handoff.partition hj3)) sample_keys in
+  List.iter2
+    (fun b a -> check Alcotest.int "split-then-merge restores the mapping" b a)
+    before after
+
 let suite =
   [
     Alcotest.test_case "hash determinism and balance" `Quick test_hash_deterministic_and_balanced;
     Alcotest.test_case "range edges and monotonicity" `Quick test_range_edges;
     Alcotest.test_case "descriptor roundtrip" `Quick test_descriptor_roundtrip;
     Alcotest.test_case "stable across re-attach" `Quick test_stable_across_reattach;
+    Alcotest.test_case "degenerate ranges: empty, single-key, full keyspace" `Quick
+      test_degenerate_ranges;
+    Alcotest.test_case "sealed bucket descriptors: roundtrip and rejection" `Quick
+      test_buckets_seal_unseal;
+    Alcotest.test_case "split-then-merge roundtrip across re-attach" `Quick
+      test_split_merge_roundtrip_across_reattach;
   ]

@@ -406,6 +406,66 @@ let test_degraded_mode_and_heal () =
          | Rep.Degraded d -> Alcotest.failf "health not restored after heal: %s" d);
          Rep.stop c))
 
+(* ------------------- bounded retransmit retention ------------------------ *)
+
+(* A partitioned follower must not pin unbounded primary DRAM: with a tiny
+   retention cap, the laggard gets cut off (sticky, reported through
+   [health]) while the live replicas keep acking the quorum. *)
+let test_retention_cap_cuts_off_laggard () =
+  let cap = 8 in
+  let rc = { (rcfg 3) with Rep.max_retained = cap } in
+  let c = Rep.create ~rcfg:rc (cfg ~nthreads:1 ()) in
+  let prim = Rep.primary c in
+  let committed = ref 0 in
+  ignore
+    (Sched.run (fun () ->
+         Rep.start c;
+         Rep.set_partitioned c 2 true;
+         for i = 1 to 24 do
+           match E.atomically prim ~thread:0 body with
+           | Some (_, tid) when tid > 0 -> (
+             committed := max !committed tid;
+             match Rep.wait_acked c tid with
+             | Rep.Quorum -> ()
+             | Rep.Degraded_quorum d ->
+               Alcotest.failf "healthy quorum lost behind the laggard at tx %d: %s" i d)
+           | _ -> ()
+         done;
+         (match Rep.drain c with
+         | Rep.Quorum -> ()
+         | Rep.Degraded_quorum d -> Alcotest.failf "drain lost quorum: %s" d);
+         check Alcotest.bool
+           (Printf.sprintf "retained queue bounded by the cap (%d)" (Rep.retained c))
+           true
+           (Rep.retained c <= cap);
+         check Alcotest.bool "the partitioned laggard is cut off" true
+           (Rep.cut_off c).(2);
+         check Alcotest.bool "live replicas stay in service" false
+           ((Rep.cut_off c).(0) || (Rep.cut_off c).(1));
+         (match Rep.health c with
+         | Rep.Degraded d ->
+           let has needle =
+             let n = String.length needle and l = String.length d in
+             let rec go i = i + n <= l && (String.sub d i n = needle || go (i + 1)) in
+             go 0
+           in
+           check Alcotest.bool "alarm names the cut-off replica" true (has "cut off");
+           check Alcotest.bool "alarm names the retention bound" true (has "retention")
+         | Rep.Healthy -> Alcotest.fail "a tripped retention cap must degrade health");
+         (* Sticky: healing the link cannot un-cut the replica — its
+            missing batches are gone; only a resync could revive it. *)
+         Rep.set_partitioned c 2 false;
+         Sched.advance 200_000;
+         check Alcotest.bool "cut-off survives a link heal" true (Rep.cut_off c).(2);
+         (match Rep.health c with
+         | Rep.Degraded _ -> ()
+         | Rep.Healthy -> Alcotest.fail "the lag alarm must stay sticky");
+         Rep.stop c));
+  check Alcotest.int "quorum acked everything committed" !committed (Rep.acked c);
+  let st = Rep.stats c in
+  check Alcotest.bool "retention drops counted" true (Stats.get st "retention_drops" > 0);
+  check Alcotest.int "exactly one replica cut off" 1 (Stats.get st "replicas_cut_off")
+
 (* ----------------------------- tracing ----------------------------------- *)
 
 let with_tracer ?capacity f =
@@ -516,6 +576,8 @@ let suite =
       test_promotion_truncates_to_quorum_prefix;
     Alcotest.test_case "replica: bounded waits, explicit degradation, heal" `Quick
       test_degraded_mode_and_heal;
+    Alcotest.test_case "replica: retention cap cuts off the laggard" `Quick
+      test_retention_cap_cuts_off_laggard;
     Alcotest.test_case "replica: trace spans and per-link accounting" `Quick
       test_trace_spans_and_link_accounting;
     Alcotest.test_case "replica: disabled link_transfer allocates nothing" `Quick
