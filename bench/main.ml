@@ -29,6 +29,7 @@ let experiments scale full =
     ("persist", fun () -> Persist_bench.run ~scale ());
     ("replica", fun () -> Replica_bench.run ~scale ());
     ("migrate", fun () -> Migrate_bench.run ~scale ());
+    ("snapshot", fun () -> Snapshot_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -49,6 +50,7 @@ let bechamel_tests =
     ("persist", Persist_bench.tiny);
     ("replica", Replica_bench.tiny);
     ("migrate", Migrate_bench.tiny);
+    ("snapshot", Snapshot_bench.tiny);
   ]
 
 let run_bechamel () =

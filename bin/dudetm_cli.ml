@@ -357,6 +357,7 @@ let check_cmd =
         ("skip-batch-seal", Config.Skip_batch_seal);
         ("skip-quorum-gate", Config.Skip_quorum_gate);
         ("skip-handoff-seal", Config.Skip_handoff_seal);
+        ("skip-snapshot-validate", Config.Skip_snapshot_validate);
       ]
     in
     Arg.(
@@ -372,9 +373,12 @@ let check_cmd =
              durability at batch seal instead of after the record's fence; \
              caught by --batch), skip-quorum-gate (replication acknowledges \
              at the primary-local seal instead of the quorum watermark; caught \
-             by --replica), or skip-handoff-seal (migration flips key-range \
+             by --replica), skip-handoff-seal (migration flips key-range \
              ownership without sealing the handoff record and the new \
-             partition descriptor; caught by --migrate).")
+             partition descriptor; caught by --migrate), or \
+             skip-snapshot-validate (read-only snapshots extend their epoch \
+             past a concurrent commit without revalidating the read-set; \
+             caught by --snapshot).")
   in
   let batch =
     Arg.(
@@ -442,6 +446,19 @@ let check_cmd =
              handoff seals (two deep) — re-attach, complete the resharding, and \
              require every key on exactly one shard with no acknowledged write \
              lost and every moved range recycled.")
+  in
+  let snapshot =
+    Arg.(
+      value & flag
+      & info [ "snapshot" ]
+          ~doc:
+            "Run the snapshot-read crash campaign instead: pair-writer \
+             transactions (both slots of a pair always equal) against a \
+             concurrent read-only snapshot reader in volatile and \
+             durable-only mode, power cuts at sampled persist boundaries \
+             while durable reads run; every completed read-set must be \
+             consistent (never torn across a writer's commit) and every \
+             durable-mode value must survive recovery.")
   in
   let media =
     Arg.(
@@ -561,8 +578,8 @@ let check_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
       crash_at batch replica replica_count replica_scenario shards shard_count migrate
-      media media_faults media_seed media_seeds evict_frac evict_seed recovery leg crash2
-      crash3 rec_seeds daemons daemon_seed fault_rate verbose =
+      snapshot media media_faults media_seed media_seeds evict_frac evict_seed recovery leg
+      crash2 crash3 rec_seeds daemons daemon_seed fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
     let txs_or d = Option.value txs ~default:d in
@@ -633,6 +650,24 @@ let check_cmd =
         Printf.printf "migrate campaign: FAIL: %s\n  replay: %s\n" mg.Check.mg_reason
           (Check.migrate_replay_line mg);
         `Error (false, "live-migration crash check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if snapshot then begin
+      match
+        Check.check_snapshot ~fault
+          ~txs:(txs_or Check.default_snapshot_txs)
+          ~log ?only_crash:(opt crash_at) ()
+      with
+      | Check.Snapshot_pass { runs; boundaries; reads } ->
+        Printf.printf
+          "snapshot campaign: PASS (%d runs, %d persist boundaries, %d snapshot reads)\n"
+          runs boundaries reads;
+        `Ok ()
+      | Check.Snapshot_fail sn ->
+        Printf.printf "snapshot campaign: FAIL: %s\n  replay: %s\n" sn.Check.sn_reason
+          (Check.snapshot_replay_line sn);
+        `Error (false, "snapshot-read crash check failed")
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Config.Invalid_config msg -> `Error (false, msg)
     end
@@ -785,12 +820,15 @@ let check_cmd =
           quorum-acked transaction to survive.  With --migrate, a live-migration \
           campaign: power cuts during a 4->8 resharding (double-write window, \
           sealed handoff record, atomic descriptor flip) must leave every key on \
-          exactly one shard with no acknowledged write lost.")
+          exactly one shard with no acknowledged write lost.  With --snapshot, a \
+          snapshot-read campaign: read-only snapshot readers run in volatile and \
+          durable-only mode against pair writers through power cuts; read-sets \
+          must never tear and durable-mode values must survive recovery.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
        $ sched_seeds $ mutate $ sched $ crash_at $ batch $ replica $ replica_count
-       $ replica_scenario $ shards $ shard_count $ migrate $ media
+       $ replica_scenario $ shards $ shard_count $ migrate $ snapshot $ media
        $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
        $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
        $ verbose))

@@ -17,6 +17,9 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     let atomically : 'a. thread:int -> ?wset:int list -> (Ptm_intf.tx -> 'a) -> ('a * int) option =
       fun ~thread ?wset:_ f -> D.atomically t ~thread (fun dtx -> f (wrap_tx dtx))
     in
+    let atomically_ro : 'a. durable:bool -> thread:int -> (Ptm_intf.tx -> 'a) -> ('a * int) option =
+      fun ~durable ~thread f -> D.atomically_ro ~durable t ~thread (fun dtx -> f (wrap_tx dtx))
+    in
     let counters () =
       Stats.to_list (D.stats t)
       @ List.map (fun (k, v) -> ("tm." ^ k, v)) (Stats.to_list (Tm.stats (D.tm t)))
@@ -31,6 +34,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         nthreads = cfg.Dudetm_core.Config.nthreads;
         root_base = D.root_base t;
         atomically;
+        atomically_ro;
         peek = D.heap_read_u64 t;
         durable_id = (fun () -> D.durable_id t);
         last_tid = (fun () -> D.last_tid t);

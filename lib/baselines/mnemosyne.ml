@@ -314,12 +314,20 @@ let ptm_of ?(name = "Mnemosyne") t =
       =
     fun ~thread ?wset:_ f -> atomically_impl t ~thread f
   in
+  (* Mnemosyne has no read-only mode: a read-only transaction still runs
+     the full commit (torn-bit log seal included), so snapshot reads pay
+     the ordinary path. *)
+  let atomically_ro : 'a. durable:bool -> thread:int -> (Ptm_intf.tx -> 'a) -> ('a * int) option
+      =
+    fun ~durable:_ ~thread f -> atomically_impl t ~thread f
+  in
   {
     Ptm_intf.name;
     requires_static = false;
     nthreads = t.cfg.nthreads;
     root_base = 0;
     atomically;
+    atomically_ro;
     peek = Nvm.load_u64 t.nvm;
     durable_id = (fun () -> t.durable);
     last_tid = (fun () -> t.clock);

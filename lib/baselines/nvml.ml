@@ -175,12 +175,20 @@ let ptm_of ?(name = "NVML") t =
       =
     fun ~thread ?(wset = []) f -> atomically_impl t ~thread ~wset f
   in
+  (* NVML's static transactions have no read-only mode; an empty declared
+     write set makes the ordinary path lock nothing, but it still pays
+     the undo-log lifecycle. *)
+  let atomically_ro : 'a. durable:bool -> thread:int -> (Ptm_intf.tx -> 'a) -> ('a * int) option
+      =
+    fun ~durable:_ ~thread f -> atomically_impl t ~thread ~wset:[] f
+  in
   {
     Ptm_intf.name;
     requires_static = true;
     nthreads = t.cfg.nthreads;
     root_base = 0;
     atomically;
+    atomically_ro;
     peek = Nvm.load_u64 t.nvm;
     durable_id = (fun () -> t.clock);
     last_tid = (fun () -> t.clock);

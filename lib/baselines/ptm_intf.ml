@@ -26,6 +26,17 @@ type t = {
       (** [Some (result, tid)] on commit ([tid = 0] when the system has no
           meaningful transaction IDs or the transaction was read-only);
           [None] when the body called [abort]. *)
+  atomically_ro : 'a. durable:bool -> thread:int -> (tx -> 'a) -> ('a * int) option;
+      (** Read-only snapshot transaction: lock-free, log-free,
+          persist-free where the system supports it (DudeTM and
+          Volatile-STM take the snapshot fast path; Mnemosyne and NVML
+          have no read-only mode and delegate to [atomically], so they
+          pay their full commit cost).  [Some (result, epoch)] with the
+          snapshot epoch; [None] when the body called [abort].  On
+          fast-path systems, calling [tx.write]/[tx.pmalloc]/[tx.pfree]
+          raises the system's read-only violation.  [durable] asks for
+          durable-only reads (epoch pinned at the durable watermark);
+          volatile systems ignore it. *)
   peek : int -> int64;
       (** Non-transactional read of the current (volatile) data image; used
           by static-transaction planning and by test assertions. *)

@@ -44,12 +44,28 @@ module Engine (Tm : Tm_intf.S) = struct
         allocs := [];
         outcome
     in
+    (* Snapshot fast path over the same TM: no durability, so the
+       [durable] pin is meaningless here and ignored. *)
+    let atomically_ro : 'a. durable:bool -> thread:int -> (Ptm_intf.tx -> 'a) -> ('a * int) option =
+      fun ~durable:_ ~thread:_ f ->
+        Trace.span ~cat:"perform" "ro_tx" @@ fun () ->
+        Tm.run_ro tm (fun ro ->
+            f
+              {
+                Ptm_intf.read = Tm.ro_read ro;
+                write = (fun _ _ -> raise Tm_intf.Read_only_violation);
+                abort = (fun () -> Tm.ro_abort ro);
+                pmalloc = (fun _ -> raise Tm_intf.Read_only_violation);
+                pfree = (fun ~off:_ ~len:_ -> raise Tm_intf.Read_only_violation);
+              })
+    in
     {
       Ptm_intf.name;
       requires_static = false;
       nthreads;
       root_base = 0;
       atomically;
+      atomically_ro;
       peek = Mem.get_u64 mem;
       durable_id = (fun () -> Tm.last_tid tm);
       last_tid = (fun () -> Tm.last_tid tm);

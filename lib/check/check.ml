@@ -59,6 +59,7 @@ let fault_suffix = function
   | Config.Skip_batch_seal -> "+skip-batch-seal"
   | Config.Skip_quorum_gate -> "+skip-quorum-gate"
   | Config.Skip_handoff_seal -> "+skip-handoff-seal"
+  | Config.Skip_snapshot_validate -> "+skip-snapshot-validate"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -2428,3 +2429,224 @@ let check_migrate ?(fault = Config.No_fault) ?(log = fun _ -> ()) ?only_crash ?o
       match !result with
       | Some f -> f
       | None -> Migrate_pass { runs = !runs; boundaries = total })
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-read crash campaign                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The snapshot campaign runs pair-writer transactions — every commit
+   writes the {e same} value to both slots of one pair — against a
+   concurrent read-only snapshot reader alternating volatile and
+   durable-only mode, and cuts power at sampled persist boundaries while
+   the durable reads run.  Two oracles:
+
+   - {b consistency}: every completed snapshot read-set satisfies
+     [va = vb].  A reader spanning a writer's commit must either retry
+     (validated extension) or see none of its writes; the
+     [Skip_snapshot_validate] mutant slides the epoch forward without
+     revalidating and returns one old and one new half of a pair.
+   - {b durable prefix}: a durable-mode read of value [v] proves that [v]
+     transactions on that pair were durable when the read completed, so
+     after the cut recovery must find at least [v] on that pair — and
+     never more than were committed. *)
+
+let snapshot_npairs = 4
+
+let sn_slot_a p = 8 + (16 * p)
+
+let sn_slot_b p = sn_slot_a p + 8
+
+let default_snapshot_txs = 12
+
+let snapshot_sites_budget = shard_sites_budget
+
+type snapshot_failure = {
+  sn_fault : Config.fault;
+  sn_txs : int;
+  sn_crash : int option;  (* power cut (persist boundary) *)
+  sn_reason : string;
+}
+
+type snapshot_report =
+  | Snapshot_pass of { runs : int; boundaries : int; reads : int }
+  | Snapshot_fail of snapshot_failure
+
+let snapshot_replay_line sn =
+  Printf.sprintf "dudetm check --snapshot%s --txs %d%s"
+    (match sn.sn_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    sn.sn_txs
+    (match sn.sn_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+(* One full run on the pipelined-combine config (short deadline: durable
+   pin waits stay bounded, and a short run still crosses many persist
+   boundaries): writers on threads [0 .. n-2], the snapshot reader on the
+   last thread, power cut at the [crash]-th boundary, attach, oracle.
+   Returns (verdict, boundaries, completed snapshot reads). *)
+let snapshot_run ~fault ~txs ~crash =
+  let cfg = batch_cfg ~fault in
+  let nthreads = cfg.Config.nthreads in
+  let nwriters = nthreads - 1 in
+  let p, _t = Dude_ptm.Stm.ptm cfg in
+  let nvm = match p.Ptm.nvm with Some n -> n | None -> assert false in
+  let sites = ref 0 in
+  let last_d = ref 0 in
+  let err = ref None in
+  let report r = if !err = None then err := Some r in
+  Nvm.set_persist_hook nvm
+    (Some
+       (fun () ->
+         incr sites;
+         let d = p.Ptm.durable_id () in
+         if d < !last_d then
+           report (Printf.sprintf "durable id regressed from %d to %d" !last_d d);
+         if d > !last_d then last_d := d;
+         match crash with Some k when !sites = k -> raise Crash_now | _ -> ()));
+  let committed = Array.make snapshot_npairs 0 in
+  (* Per pair: the largest value a completed durable-mode read returned. *)
+  let durable_seen = Array.make snapshot_npairs 0 in
+  let reads = ref 0 in
+  let crashed = ref false in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            p.Ptm.start ();
+            let writers_done = ref 0 in
+            for th = 0 to nwriters - 1 do
+              ignore
+                (Sched.spawn (Printf.sprintf "snapshot-writer-%d" th) (fun () ->
+                     for i = 1 to txs do
+                       let pair = (th + (nwriters * i)) mod snapshot_npairs in
+                       match
+                         p.Ptm.atomically ~thread:th (fun tx ->
+                             let v = Int64.add (tx.Ptm.read (sn_slot_a pair)) 1L in
+                             tx.Ptm.write (sn_slot_a pair) v;
+                             tx.Ptm.write (sn_slot_b pair) v)
+                       with
+                       | Some ((), _tid) -> committed.(pair) <- committed.(pair) + 1
+                       | None -> ()
+                     done;
+                     incr writers_done))
+            done;
+            let reader_done = ref false in
+            ignore
+              (Sched.spawn "snapshot-reader" (fun () ->
+                   let durable = ref false in
+                   while !writers_done < nwriters do
+                     durable := not !durable;
+                     (* All [a] halves first, then all [b] halves: a writer
+                        committing pair [q] anywhere in between bumps both
+                        stripes past the epoch, so the [b] read triggers an
+                        extension — which must revalidate the recorded [a]
+                        (and restart), or tear. *)
+                     match
+                       p.Ptm.atomically_ro ~durable:!durable ~thread:(nthreads - 1)
+                         (fun tx ->
+                           let va =
+                             Array.init snapshot_npairs (fun q -> tx.Ptm.read (sn_slot_a q))
+                           in
+                           let vb =
+                             Array.init snapshot_npairs (fun q -> tx.Ptm.read (sn_slot_b q))
+                           in
+                           (va, vb))
+                     with
+                     | Some ((va, vb), epoch) ->
+                       incr reads;
+                       for q = 0 to snapshot_npairs - 1 do
+                         if va.(q) <> vb.(q) then
+                           report
+                             (Printf.sprintf
+                                "torn snapshot read-set: pair %d is %Ld/%Ld at epoch %d \
+                                 (%s mode)"
+                                q va.(q) vb.(q) epoch
+                                (if !durable then "durable" else "volatile"));
+                         if !durable && Int64.to_int va.(q) > durable_seen.(q) then
+                           durable_seen.(q) <- Int64.to_int va.(q)
+                       done
+                     | None -> ()
+                   done;
+                   reader_done := true));
+            Sched.wait_until ~label:"snapshot workers done" (fun () ->
+                !writers_done = nwriters && !reader_done);
+            p.Ptm.drain ();
+            p.Ptm.stop ()))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> report ("deadlock: " ^ msg)
+  | e -> report ("engine raised " ^ Printexc.to_string e));
+  Nvm.set_persist_hook nvm None;
+  match !err with
+  | Some reason -> (Some reason, !sites, !reads)
+  | None -> (
+    Nvm.crash nvm;
+    match Dude_ptm.Stm.attach_ptm cfg nvm with
+    | exception e -> (Some ("recovery raised " ^ Printexc.to_string e), !sites, !reads)
+    | p2, _t2, _report ->
+      let verdict = ref None in
+      let fail r = if !verdict = None then verdict := Some r in
+      for pr = 0 to snapshot_npairs - 1 do
+        let ra = Int64.to_int (p2.Ptm.peek (sn_slot_a pr)) in
+        let rb = Int64.to_int (p2.Ptm.peek (sn_slot_b pr)) in
+        if ra <> rb then fail (Printf.sprintf "recovered pair %d is torn: %d/%d" pr ra rb);
+        if ra < durable_seen.(pr) then
+          fail
+            (Printf.sprintf
+               "durable-mode snapshot read lost: pair %d read %d, recovery found %d" pr
+               durable_seen.(pr) ra);
+        if ra > committed.(pr) then
+          fail
+            (Printf.sprintf "phantom writes: pair %d recovered %d, only %d committed" pr ra
+               committed.(pr));
+        if (not !crashed) && ra <> committed.(pr) then
+          fail
+            (Printf.sprintf "quiescent stop lost writes: pair %d is %d, committed %d" pr ra
+               committed.(pr))
+      done;
+      (!verdict, !sites, !reads))
+
+let check_snapshot ?(fault = Config.No_fault) ?(txs = default_snapshot_txs)
+    ?(log = fun _ -> ()) ?only_crash () =
+  let fail ~crash reason =
+    Snapshot_fail { sn_fault = fault; sn_txs = txs; sn_crash = crash; sn_reason = reason }
+  in
+  match only_crash with
+  | Some k -> (
+    match snapshot_run ~fault ~txs ~crash:(Some k) with
+    | Some reason, _, _ -> fail ~crash:(Some k) reason
+    | None, s, r -> Snapshot_pass { runs = 1; boundaries = s; reads = r })
+  | None -> (
+    log
+      (Printf.sprintf "snapshot: %d pair-writers x %d txs + mixed-mode reader, clean run"
+         ((batch_cfg ~fault).Config.nthreads - 1)
+         txs);
+    match snapshot_run ~fault ~txs ~crash:None with
+    | Some reason, _, _ -> fail ~crash:None reason
+    | None, total, reads0 ->
+      let budget = snapshot_sites_budget () in
+      let runs = ref 1 in
+      let reads = ref reads0 in
+      let result = ref None in
+      let picks =
+        if total <= budget then List.init total (fun i -> i + 1)
+        else List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+      in
+      log
+        (Printf.sprintf
+           "snapshot: %d persist boundaries, cutting power at %d of them under durable \
+            readers"
+           total (List.length picks));
+      List.iter
+        (fun k ->
+          if !result = None then begin
+            incr runs;
+            match snapshot_run ~fault ~txs ~crash:(Some k) with
+            | Some reason, _, _ -> result := Some (fail ~crash:(Some k) reason)
+            | None, _, r -> reads := !reads + r
+          end)
+        picks;
+      match !result with
+      | Some f -> f
+      | None -> Snapshot_pass { runs = !runs; boundaries = total; reads = !reads })

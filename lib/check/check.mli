@@ -602,3 +602,52 @@ val check_migrate :
     [DUDETM_CHECK_BUDGET]-scaled site budget), then the two-deep sweep.
     [only_crash] (optionally with [only_crash2]) replays exactly one
     case. *)
+
+(** {1 Snapshot-read crash campaign}
+
+    [dudetm check --snapshot] runs pair-writer transactions — every
+    commit writes the {e same} value to both slots of one pair — against
+    a concurrent read-only snapshot reader alternating volatile and
+    durable-only mode on the pipelined group-commit engine, and cuts
+    power at sampled persist boundaries while the durable reads run.
+    Two oracles:
+
+    - {b consistency}: every completed snapshot read-set satisfies
+      [va = vb].  A reader whose epoch extension spans a writer's commit
+      must either retry (validated extension) or see none of its writes;
+      the {!Dudetm_core.Config.Skip_snapshot_validate} mutant slides the
+      epoch forward without revalidating and returns one old and one new
+      half of a pair — a torn read-set.
+    - {b durable prefix}: a durable-mode read of value [v] proves [v]
+      transactions on that pair were durable when the read completed, so
+      recovery after the cut must find at least [v] on that pair — and
+      never more than were committed. *)
+
+type snapshot_failure = {
+  sn_fault : Dudetm_core.Config.fault;  (** seeded engine mutant in force *)
+  sn_txs : int;  (** transactions per writer thread *)
+  sn_crash : int option;
+      (** failing persist boundary; [None]: the clean quiescent run *)
+  sn_reason : string;
+}
+
+type snapshot_report =
+  | Snapshot_pass of { runs : int; boundaries : int; reads : int }
+  | Snapshot_fail of snapshot_failure
+
+val snapshot_replay_line : snapshot_failure -> string
+(** The replayable [dudetm check --snapshot ...] one-liner. *)
+
+val default_snapshot_txs : int
+
+val check_snapshot :
+  ?fault:Dudetm_core.Config.fault ->
+  ?txs:int ->
+  ?log:(string -> unit) ->
+  ?only_crash:int ->
+  unit ->
+  snapshot_report
+(** Run the campaign: a clean run (readers active throughout) counts the
+    persist boundaries, then power cuts at an evenly-spread sample of
+    them (the [DUDETM_CHECK_BUDGET]-scaled site budget).  [only_crash]
+    replays exactly one case. *)

@@ -10,6 +10,7 @@ type fault =
   | Skip_batch_seal
   | Skip_quorum_gate
   | Skip_handoff_seal
+  | Skip_snapshot_validate
 
 exception Invalid_config of string
 

@@ -79,6 +79,13 @@ type fault =
           to the source shard, and lose every write acknowledged on the new
           owner.  Validates the migration campaign
           ([dudetm check --migrate]). *)
+  | Skip_snapshot_validate
+      (** Read-only snapshot transactions skip the lock-table revalidation
+          when extending their epoch past a concurrent commit: a reader
+          that spans a writer's commit can return values from {e two}
+          different epochs (a torn read-set) — e.g. one half of an
+          invariant-preserving pair update.  Validates the snapshot
+          campaign ([dudetm check --snapshot]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)

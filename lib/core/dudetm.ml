@@ -18,6 +18,8 @@ exception Drain_stalled of string
 
 exception Read_only of string
 
+exception Read_only_violation = Tm_intf.Read_only_violation
+
 exception Daemon_fault of string
 
 type recovery_report = {
@@ -115,6 +117,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
        no gating. *)
     mutable cross_gate : (int -> bool) option;
     mutable cross_frontier : int;  (* max replayed cross-shard gtid *)
+    (* Durable-only snapshot watermark, installed by layers that gate
+       durability beyond the local device (shard effective IDs, replication
+       quorum).  Thunk returns an engine-space tid; [None]: the local
+       durable ID.  Must be a pure read — snapshot readers poll it. *)
+    mutable ro_watermark : (unit -> int) option;
     (* Replication taps, installed by lib/replica.  [ship_hook] fires on
        the Persist daemon right after a log record's NVM persist completes
        (the batch is sealed locally); [replay_gate] stops a follower's
@@ -131,10 +138,15 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     stats : Stats.t;
   }
 
+  (* A transaction body runs against either a full TM transaction or a
+     read-only snapshot; the handle decides which fast path [read] takes
+     and makes [write] on a snapshot a typed error. *)
+  type txh = Rw of Tm.tx | Snap of Tm.ro
+
   type tx = {
     t : t;
     thread : int;
-    tm_tx : Tm.tx;
+    tm_tx : txh;
     touched : (int, unit) Hashtbl.t;  (* pinned shadow pages *)
     mutable touched_list : int list;
     wrote : (int, unit) Hashtbl.t;  (* pages written (for touching IDs) *)
@@ -206,6 +218,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       repro_ranges = ref [];
       cross_gate = None;
       cross_frontier = 0;
+      ro_watermark = None;
       ship_hook = None;
       replay_gate = None;
       fault_rng = Rng.create ((cfg.Config.seed * 31) + 0x5eed);
@@ -332,6 +345,14 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let set_cross_gate t gate = t.cross_gate <- gate
 
   let cross_frontier t = t.cross_frontier
+
+  let set_ro_watermark t wm = t.ro_watermark <- wm
+
+  (* Engine-space watermark durable-only snapshots pin at: the installed
+     one (shard effective IDs, replication quorum) or the local durable
+     ID.  Pure. *)
+  let ro_watermark t =
+    match t.ro_watermark with Some f -> f () | None -> t.durable
 
   let set_ship_hook t hook = t.ship_hook <- hook
 
@@ -1182,23 +1203,37 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let read dtx addr =
     touch dtx addr ~wrote:false;
-    Tm.read dtx.tm_tx addr
+    match dtx.tm_tx with
+    | Rw tm_tx -> Tm.read tm_tx addr
+    | Snap ro -> Tm.ro_read ro addr
 
   let require_writable t =
     match t.read_only with
     | Some reason -> raise (Read_only reason)
     | None -> ()
 
+  (* The write-side TM handle; a snapshot transaction attempting any
+     mutation gets the typed violation (there is nothing to roll back —
+     snapshots own no locks and logged nothing). *)
+  let require_rw dtx =
+    match dtx.tm_tx with
+    | Rw tm_tx -> tm_tx
+    | Snap _ -> raise Read_only_violation
+
   let write dtx addr value =
+    let tm_tx = require_rw dtx in
     require_writable dtx.t;
     touch dtx addr ~wrote:true;
     Trace.sample ~cat:"perform" "log_append" dtx.t.cfg.Config.log_append_cost;
     Sched.advance dtx.t.cfg.Config.log_append_cost;
     Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Write { addr; value });
     Stats.incr dtx.t.stats "log_entries";
-    Tm.write dtx.tm_tx addr value
+    Tm.write tm_tx addr value
 
-  let abort dtx = Tm.user_abort dtx.tm_tx
+  let abort dtx =
+    match dtx.tm_tx with
+    | Rw tm_tx -> Tm.user_abort tm_tx
+    | Snap ro -> Tm.ro_abort ro
 
   (* Request a cross-shard fragment seal: if this transaction commits with
      writes, a [Cross { gtid; mask; tid }] entry is logged just before its
@@ -1241,6 +1276,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let pmalloc dtx n =
     if n <= 0 then invalid_arg "Dudetm.pmalloc: non-positive size";
+    ignore (require_rw dtx);
     require_writable dtx.t;
     Sched.advance pmalloc_cost;
     match alloc_with_backpressure dtx.t n with
@@ -1256,6 +1292,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
 
   let pfree dtx ~off ~len =
     if len <= 0 then invalid_arg "Dudetm.pfree: non-positive size";
+    ignore (require_rw dtx);
     require_writable dtx.t;
     write dtx off 0L;
     Vlog.append dtx.t.vlogs.(dtx.thread) (Log_entry.Free { off; len });
@@ -1362,7 +1399,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             {
               t;
               thread;
-              tm_tx;
+              tm_tx = Rw tm_tx;
               touched = Hashtbl.create 8;
               touched_list = [];
               wrote = Hashtbl.create 8;
@@ -1427,6 +1464,59 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       r
     | exception e ->
       Trace.span_end ~cat:"perform" "tx";
+      raise e
+
+  (* Read-only snapshot transactions (the DUMBO-style fast path).  No
+     ring-pressure throttle, no admission pacing, no redo-log append, no
+     write locks, no persist wait: the decoupled pipeline never hears of
+     the transaction, and the returned epoch is the engine-space clock
+     value the read-set is consistent at.  [durable] pins the snapshot at
+     {!ro_watermark} so reads observe only crash-surviving state. *)
+  let atomically_ro ?(durable = false) t ~thread f =
+    if thread < 0 || thread >= t.cfg.Config.nthreads then
+      invalid_arg "Dudetm.atomically_ro: bad thread index";
+    let pin =
+      if durable then Some (fun () -> ro_watermark t - t.tid_base) else None
+    in
+    let validate_extension = t.cfg.Config.fault <> Config.Skip_snapshot_validate in
+    Trace.span_begin ~cat:"perform" "ro_tx";
+    let attempt : tx option ref = ref None in
+    let cleanup () =
+      (match !attempt with Some dtx -> unpin_all dtx | None -> ());
+      attempt := None
+    in
+    match
+      Tm.run_ro ?pin ~validate_extension ~on_retry:cleanup t.tm (fun ro ->
+          let dtx =
+            {
+              t;
+              thread;
+              tm_tx = Snap ro;
+              touched = Hashtbl.create 8;
+              touched_list = [];
+              wrote = Hashtbl.create 8;
+              wrote_list = [];
+              allocs = [];
+              frees = [];
+              cross_seal = None;
+            }
+          in
+          attempt := Some dtx;
+          f dtx)
+    with
+    | Some (value, raw_epoch) ->
+      cleanup ();
+      Stats.incr t.stats "ro_txs";
+      if durable then Stats.incr t.stats "ro_durable_txs";
+      Trace.span_end ~cat:"perform" "ro_tx";
+      Some (value, t.tid_base + raw_epoch)
+    | None ->
+      cleanup ();
+      Trace.span_end ~cat:"perform" "ro_tx";
+      None
+    | exception e ->
+      cleanup ();
+      Trace.span_end ~cat:"perform" "ro_tx";
       raise e
 
   (* ------------------------------------------------------------------ *)

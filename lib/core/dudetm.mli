@@ -37,6 +37,13 @@ exception Read_only of string
     transactional writes, [pmalloc] and [pfree] are rejected with the
     reason the instance was frozen; reads still work. *)
 
+exception Read_only_violation
+(** A transaction declared read-only ({!Make.atomically_ro}) attempted a
+    write, [pmalloc] or [pfree].  A programming error, not a conflict:
+    snapshot transactions hold no locks and logged nothing, so there is
+    nothing to roll back.  (Same exception as
+    [Dudetm_tm.Tm_intf.Read_only_violation].) *)
+
 exception Daemon_fault of string
 (** Injected transient Persist/Reproduce worker failure (seeded via
     {!Config.daemon_fault_rate}; never raised in production
@@ -173,6 +180,27 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
       {!abort}.  [thread] indexes the calling Perform thread's log buffer
       (0 to [nthreads-1]); each simulated thread must use its own index. *)
 
+  val atomically_ro :
+    ?durable:bool -> t -> thread:int -> (tx -> 'a) -> ('a * int) option
+  (** Read-only snapshot transaction (the DUMBO-style fast path): [f] reads
+      a consistent epoch of shadow memory taken from the TM's global
+      version clock, validated per read against the versioned lock table
+      with timestamp extension.  It acquires no locks, appends nothing to
+      the redo log, never enters the persist pipeline, and skips the
+      ring-pressure throttle and admission pacing entirely — writers and
+      daemons cannot observe it.  Returns [Some (result, epoch)] where
+      [epoch] is the engine-space clock value the whole read-set is
+      consistent at, or [None] if [f] called {!abort}.  A write, [pmalloc]
+      or [pfree] inside [f] raises {!Read_only_violation}.
+
+      [durable = true] selects durable-only mode: the epoch is pinned at
+      {!ro_watermark} (local durable ID, or the installed shard/quorum
+      watermark), so every value read was already crash-surviving at the
+      moment of the read; a read observing newer state waits — bounded by
+      the group-commit deadline — for durability to catch up.  Fresh-epoch
+      mode ([durable = false], the default) may observe committed state
+      that is not yet durable. *)
+
   val read : tx -> int -> int64
   (** [dtmRead]. *)
 
@@ -208,6 +236,18 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
 
   val wait_durable : t -> int -> unit
   (** Block until [durable_id t >= tid]. *)
+
+  val set_ro_watermark : t -> (unit -> int) option -> unit
+  (** Install the watermark durable-only snapshots pin at, in engine tid
+      space.  Layers that gate durability beyond the local device use
+      this: the sharding layer installs per-shard {e effective} durable
+      IDs (cross-shard fragments held back until their siblings are
+      durable), the replication layer its quorum watermark.  The thunk
+      must be a pure read — snapshot readers poll it from scheduler wait
+      conditions.  [None] restores the default (the local durable ID). *)
+
+  val ro_watermark : t -> int
+  (** The watermark durable-only snapshots currently pin at. *)
 
   (** {1 Cross-shard transactions (sharding layer hooks)} *)
 

@@ -126,21 +126,30 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
             cut_off = false;
           })
     in
-    {
-      cfg;
-      rcfg;
-      prim;
-      reps;
-      shipments = Queue.create ();
-      acked_watermark = 0;
-      last_broadcast = 0;
-      last_broadcast_at = 0;
-      degraded = None;
-      lag_alarm = None;
-      retry_rng = Rng.create (((cfg.Config.seed * 37) + 0x5e91) land max_int);
-      stats = Stats.create ();
-      stopped = false;
-    }
+    let t =
+      {
+        cfg;
+        rcfg;
+        prim;
+        reps;
+        shipments = Queue.create ();
+        acked_watermark = 0;
+        last_broadcast = 0;
+        last_broadcast_at = 0;
+        degraded = None;
+        lag_alarm = None;
+        retry_rng = Rng.create (((cfg.Config.seed * 37) + 0x5e91) land max_int);
+        stats = Stats.create ();
+        stopped = false;
+      }
+    in
+    (* Durable-only snapshot readers on the primary pin at the *quorum*
+       watermark, not the primary-local durable ID: a value is readable in
+       durable mode only once it would survive a failover (the promotion
+       truncates to the quorum prefix).  The thunk is a pure field read,
+       as the snapshot pin wait requires. *)
+    Engine.set_ro_watermark prim (Some (fun () -> t.acked_watermark));
+    t
 
   (* ------------------------------------------------------------------ *)
   (* Quorum watermark                                                    *)
@@ -187,6 +196,16 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     prune ()
 
   let acked t = t.acked_watermark
+
+  (* Read-only snapshot on the primary.  With [~durable:true] the epoch
+     pins at the quorum watermark installed above, so every value read is
+     failover-safe; beware that under a full partition the watermark
+     stalls and a pinned extension can wait until the links heal (writers
+     hit the bounded [ack_timeout] instead — snapshot readers running
+     alongside a healthy ack daemon never deadlock the scheduler, they
+     just wait). *)
+  let atomically_ro ?durable t ~thread f =
+    Engine.atomically_ro ?durable t.prim ~thread f
 
   (* ------------------------------------------------------------------ *)
   (* Primary side: ship, ack intake, retransmit                          *)

@@ -109,6 +109,17 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val acked : t -> int
   (** The quorum-acked watermark (monotone). *)
 
+  val atomically_ro :
+    ?durable:bool -> t -> thread:int -> (Engine.tx -> 'a) -> ('a * int) option
+  (** Read-only snapshot transaction on the primary
+      ({!Engine.atomically_ro}).  With [~durable:true] the snapshot epoch
+      pins at the {e quorum} watermark ({!acked}) rather than the
+      primary-local durable ID: every value read would survive a failover
+      (promotion truncates to the quorum prefix).  Under a full partition
+      the watermark stalls and a pinned read of hot data waits for the
+      links to heal — unlike writer durability waits, snapshot pin waits
+      have no [ack_timeout] degrade path. *)
+
   val drain : ?require_quorum:bool -> t -> ack
   (** Drain the primary (its own [drain] semantics and budget), then wait —
       bounded by [ack_timeout] — for the quorum watermark to reach the

@@ -129,6 +129,16 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
         Engine.set_cross_gate e (Some (fun g -> g <= t.frontier || is_durable_upto t g)))
       t.engines
 
+  (* Durable-only snapshot readers on shard [s] pin at its entry of the
+     vector watermark, not at the raw engine durable counter: a fragment
+     beyond the global frontier can still be discarded by the recovery
+     vote, so durable-mode reads must not observe it.  [pure_effective]
+     is side-effect free, as the snapshot pin wait requires. *)
+  let install_ro_watermarks t =
+    Array.iteri
+      (fun s e -> Engine.set_ro_watermark e (Some (fun () -> pure_effective t s)))
+      t.engines
+
   let check_nshards nshards =
     if nshards < 1 || nshards > 60 then
       invalid_arg "Shard: nshards must be within [1, 60] (fragment masks are int bitsets)"
@@ -149,6 +159,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       }
     in
     install_gates t;
+    install_ro_watermarks t;
     t
 
   let create ~nshards cfg =
@@ -310,6 +321,31 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       (* The body aborted before any global ID was drawn; every level
          rolled back on the way out. *)
       None
+
+  (* Read-only snapshot on one shard.  Deliberately no quiesce handshake:
+     a snapshot owns no stripes, keeps no undo list and draws no ID, so it
+     cannot conflict with anything — including the cross-shard path, whose
+     quiesce only exists to keep TM retries out of nested sub-transactions.
+     The reader simply waits out any Owned stripe it encounters, so it is
+     never blocked behind (and never blocks) a cross-shard quiesce of its
+     home region.  In durable mode the snapshot pins at this shard's entry
+     of the vector watermark (installed at [build]). *)
+  let atomically_ro ?durable t ~thread ~shard f =
+    if shard < 0 || shard >= t.nshards then
+      invalid_arg "Shard.atomically_ro: bad shard index";
+    Stats.incr t.stats "ro_txs";
+    let tx =
+      { sh = t; dtxs = Array.make t.nshards None; shards_mask = 1 lsl shard;
+        written_mask = 0; gtid = 0 }
+    in
+    match
+      Engine.atomically_ro ?durable t.engines.(shard) ~thread (fun dtx ->
+          tx.dtxs.(shard) <- Some dtx;
+          f tx)
+    with
+    | Some (v, epoch) -> Some (v, epoch)
+    | None -> None
+    | exception Cross_abort -> None
 
   let atomically t ~thread ~shards f =
     let shards = List.sort_uniq compare shards in

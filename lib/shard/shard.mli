@@ -97,6 +97,20 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
       cross-shard path described above.  Returns [None] if [f] called
       {!abort}. *)
 
+  val atomically_ro :
+    ?durable:bool -> t -> thread:int -> shard:int -> (tx -> 'a) -> ('a * int) option
+  (** Read-only snapshot transaction on one shard: lock-free, log-free and
+      persist-free ({!Dudetm_core.Dudetm.Make.atomically_ro} on the
+      shard's engine).  Takes no quiesce handshake — a snapshot owns no
+      stripes and cannot conflict with the cross-shard path.  With
+      [~durable:true] the snapshot epoch pins at the shard's entry of the
+      {e vector} watermark ({!effective_durable}), so every value read is
+      crash-safe even against the cross-shard recovery vote.  Returns the
+      result and the snapshot epoch (an engine transaction ID on that
+      shard); [None] if [f] called {!abort}.  Calling {!write},
+      {!pmalloc} or {!pfree} inside raises
+      [Dudetm_core.Dudetm.Read_only_violation]. *)
+
   val read : tx -> shard:int -> int -> int64
 
   val write : tx -> shard:int -> int -> int64 -> unit

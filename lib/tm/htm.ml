@@ -291,3 +291,37 @@ let run ?(on_retry = fun () -> ()) tm f =
 let last_tid tm = tm.clock
 
 let stats tm = tm.stats
+
+(* --- Read-only snapshot fast path --- *)
+
+(* A read-only HTM transaction is an ordinary hardware transaction that
+   happens to write nothing: conflict detection (dooming) gives it a
+   consistent view, and the commit skips the ID draw on both the hardware
+   and the fallback path, so it never touches the shared counter line.
+   The epoch is the clock at the commit point — commit's doom check and
+   the return run without yield points, so reading it here is exact. *)
+
+type ro = tx
+
+let run_ro ?pin ?validate_extension:_ ?on_retry tm f =
+  match run ?on_retry tm f with
+  | None -> None
+  | Some (v, _tid) ->
+    let epoch = tm.clock in
+    (match pin with
+    | None -> ()
+    | Some w ->
+      (* Durable-only mode: hold the result until the watermark covers the
+         commit-point clock, so everything the transaction observed is
+         crash-surviving when it returns.  Bounded by the group-commit
+         deadline. *)
+      if w () < epoch then
+        Sched.wait_until ~label:"htm ro durable pin" (fun () -> w () >= epoch));
+    Stats.incr tm.stats "snapshot_commits";
+    Some (v, epoch)
+
+let ro_read = read
+
+let ro_epoch (tx : ro) = tx.tm.clock
+
+let ro_abort = user_abort

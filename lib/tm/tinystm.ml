@@ -194,3 +194,26 @@ let clock = last_tid
 let stats tm = tm.stats
 
 let lock_table tm = tm.locks
+
+(* --- Read-only snapshot fast path (lib/tm/snapshot.ml) --- *)
+
+type ro = Snapshot.ro
+
+let snapshot_handle tm =
+  {
+    Snapshot.h_load = tm.store.Tm_intf.load;
+    h_locks = tm.locks;
+    h_clock = (fun () -> tm.clock);
+    h_costs = tm.costs;
+    h_stats = tm.stats;
+    h_rng = tm.rng;
+  }
+
+let run_ro ?pin ?validate_extension ?on_retry tm f =
+  Snapshot.run ?pin ?validate_extension ?on_retry (snapshot_handle tm) f
+
+let ro_read = Snapshot.read
+
+let ro_epoch = Snapshot.epoch
+
+let ro_abort = Snapshot.abort

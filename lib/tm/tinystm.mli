@@ -24,3 +24,8 @@ val clock : t -> int
 
 val lock_table : t -> Lock_table.t
 (** Exposed for white-box tests. *)
+
+val snapshot_handle : t -> Snapshot.handle
+(** The clock/lock-table plumbing {!Snapshot} snapshots read through;
+    [run_ro] is [Snapshot.run (snapshot_handle tm)].  Exposed for the
+    snapshot property tests. *)

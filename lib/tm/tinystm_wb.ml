@@ -192,3 +192,30 @@ let run ?(on_retry = fun () -> ()) tm f =
 let last_tid tm = tm.clock
 
 let stats tm = tm.stats
+
+(* --- Read-only snapshot fast path (lib/tm/snapshot.ml) ---
+
+   Write-back commit still publishes through the same versioned lock
+   table and clock, so the snapshot reader drops in unchanged: an owned
+   stripe means a commit is mid-publication and the reader waits it out. *)
+
+type ro = Snapshot.ro
+
+let snapshot_handle tm =
+  {
+    Snapshot.h_load = tm.store.Tm_intf.load;
+    h_locks = tm.locks;
+    h_clock = (fun () -> tm.clock);
+    h_costs = tm.costs;
+    h_stats = tm.stats;
+    h_rng = tm.rng;
+  }
+
+let run_ro ?pin ?validate_extension ?on_retry tm f =
+  Snapshot.run ?pin ?validate_extension ?on_retry (snapshot_handle tm) f
+
+let ro_read = Snapshot.read
+
+let ro_epoch = Snapshot.epoch
+
+let ro_abort = Snapshot.abort

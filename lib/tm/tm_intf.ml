@@ -48,6 +48,12 @@ exception User_abort
 (** Raised by {!S.user_abort}: the application cancelled the transaction
     (e.g. insufficient balance in the paper's Algorithm 1).  Not retried. *)
 
+exception Read_only_violation
+(** Raised (by the DudeTM core) when a transaction declared read-only
+    attempts a write, a persistent allocation, or a free.  Snapshot
+    transactions never acquire locks or log, so there is nothing to roll
+    back — the violation is a programming error, not a conflict. *)
+
 module type S = sig
   type t
   (** Shared TM state: clock, lock metadata, statistics. *)
@@ -80,6 +86,34 @@ module type S = sig
 
   val last_tid : t -> int
   (** ID of the most recently committed write transaction. *)
+
+  type ro
+  (** A running read-only snapshot transaction (the DUMBO-style fast
+      path): reads a consistent epoch of the store without acquiring
+      locks, logging, or drawing a commit ID. *)
+
+  val run_ro :
+    ?pin:(unit -> int) ->
+    ?validate_extension:bool ->
+    ?on_retry:(unit -> unit) ->
+    t ->
+    (ro -> 'a) ->
+    ('a * int) option
+  (** [run_ro t f] executes [f] as a read-only snapshot transaction and
+      returns [Some (result, epoch)] where [epoch] is the clock value the
+      read-set is consistent at, or [None] if [f] called {!ro_abort}.
+      [pin] caps the epoch at an externally supplied watermark (the
+      durable-only mode: reads observing newer state wait for the
+      watermark to catch up).  [validate_extension = false] is reserved
+      for the seeded [Skip_snapshot_validate] checker mutant. *)
+
+  val ro_read : ro -> int -> int64
+
+  val ro_epoch : ro -> int
+  (** Current epoch of the snapshot; monotone within one snapshot. *)
+
+  val ro_abort : ro -> 'a
+  (** Cancel the snapshot and raise {!User_abort}. *)
 
   val stats : t -> Dudetm_sim.Stats.t
   (** Counters: ["commits"], ["aborts"], ["reads"], ["writes"],

@@ -29,6 +29,7 @@ exception Crashed
 
 type op =
   | Lookup of int64
+  | Lookup_ro of int64  (* snapshot fast path; durable-only for odd keys *)
   | Insert of int64 * int64
   | Update of int64 * int64
 
@@ -37,7 +38,8 @@ let gen_ops ~seed ~n ~key_lo ~key_hi =
   let key () = Int64.of_int (key_lo + Rng.int rng (key_hi - key_lo + 1)) in
   List.init n (fun _ ->
       match Rng.int rng 10 with
-      | 0 | 1 | 2 | 3 -> Lookup (key ())
+      | 0 | 1 -> Lookup (key ())
+      | 2 | 3 -> Lookup_ro (key ())
       | 4 | 5 | 6 -> Insert (key (), Rng.next_int64 rng)
       | _ -> Update (key (), Rng.next_int64 rng))
 
@@ -49,9 +51,22 @@ let observe (ptm : Ptm.t) kv ~thread op =
     | Some (r, _tid) -> r
     | None -> Alcotest.fail "transaction user-aborted unexpectedly"
   in
+  let run_ro ~durable tx_f =
+    match ptm.Ptm.atomically_ro ~durable ~thread tx_f with
+    | Some (r, _epoch) -> r
+    | None -> Alcotest.fail "read-only transaction user-aborted unexpectedly"
+  in
   match op with
   | Lookup k -> (
     match run (fun tx -> W.Kv.lookup_tx kv tx ~key:k) with
+    | Some v -> v
+    | None -> -1L)
+  | Lookup_ro k -> (
+    (* Threads write disjoint ranges, so even a durable-pinned snapshot of
+       the thread's own key is schedule-independent: the pin only delays
+       the read until the thread's latest write is durable. *)
+    let durable = Int64.to_int k land 1 = 1 in
+    match run_ro ~durable (fun tx -> W.Kv.lookup_tx kv tx ~key:k) with
     | Some v -> v
     | None -> -1L)
   | Insert (k, v) -> if run (fun tx -> W.Kv.insert_tx kv tx ~key:k ~value:v) then 1L else 0L

@@ -25,4 +25,5 @@ let () =
       ("migrate", Test_migrate.suite);
       ("differential", Test_differential.suite);
       ("replica", Test_replica.suite);
+      ("snapshot", Test_snapshot.suite);
     ]
