@@ -30,6 +30,7 @@ let experiments scale full =
     ("replica", fun () -> Replica_bench.run ~scale ());
     ("migrate", fun () -> Migrate_bench.run ~scale ());
     ("snapshot", fun () -> Snapshot_bench.run ~scale ());
+    ("serve", fun () -> Serve_bench.run ~scale ());
   ]
 
 let bechamel_tests =
@@ -51,6 +52,7 @@ let bechamel_tests =
     ("replica", Replica_bench.tiny);
     ("migrate", Migrate_bench.tiny);
     ("snapshot", Snapshot_bench.tiny);
+    ("serve", Serve_bench.tiny);
   ]
 
 let run_bechamel () =

@@ -1,0 +1,178 @@
+(* Serving front end: latency vs offered load, to the knee and past it.
+
+   For 1 and 8 shards: a closed-loop calibration leg (think 0) measures
+   the service capacity C, then an open-loop (Poisson) sweep offers
+   fractions of C from well below the knee to 1.5x past it.  Offered
+   load — not thread count — is the independent variable, which is what
+   an arrival process independent of service time buys: past the knee
+   the queue grows and the admission gate sheds instead of letting
+   latency run away unboundedly.
+
+   Gates (per shard count):
+   - p99 SLO at the target load (0.5 x C): nothing shed, and write p99
+     within 10x the light-load (0.3 x C) write p99 — the pipeline must
+     hold its latency profile at the load it is provisioned for;
+   - the curve reaches the knee: at least one sweep point sheds >= 1% of
+     submitted requests with a typed Overloaded reply (otherwise the
+     sweep never actually stressed admission control).
+
+   Emits BENCH_serve.json with, per point, throughput, shed counts, gate
+   transitions, percentiles and the full log2 latency histograms. *)
+
+open Dudetm_harness.Harness
+module SL = Dudetm_serve.Serve_load
+module Stats = Dudetm_sim.Stats
+
+let ntenants = 4
+
+(* Sessions per tenant scale with the shard count: a wider engine drains
+   the request queue proportionally faster, so reaching the shedding
+   knee needs proportionally more concurrent arrival streams (each
+   session's in-flight window bounds how far it can overrun). *)
+let sessions_for nshards = 2 * max 2 nshards
+
+let fractions = [ 0.3; 0.5; 0.7; 0.85; 1.0; 1.2; 1.5 ]
+
+let target_fraction = 0.5
+
+let slo_multiple = 10.0
+
+let knee_shed_fraction = 0.01
+
+let p r q = Stats.Latency.percentile r q
+
+type point = { pt_frac : float; pt : SL.result }
+
+let submitted r = r.SL.r_done + r.SL.r_shed + r.SL.r_aborted
+
+let shed_frac r =
+  if submitted r = 0 then 0.0
+  else float_of_int r.SL.r_shed /. float_of_int (submitted r)
+
+let run_points ~nshards ~reqs =
+  let sessions = sessions_for nshards in
+  (* Capacity: closed loop, zero think — every session always has one
+     request outstanding, so goodput is the service rate at this
+     concurrency. *)
+  let cal =
+    SL.run ~seed:11 ~nshards ~ntenants ~sessions ~reqs
+      ~mode:(SL.Closed { think = 0 })
+      ()
+  in
+  let capacity = cal.SL.r_achieved_ktps in
+  Printf.printf "%d shard%s: closed-loop capacity %s (%d sessions)\n" nshards
+    (if nshards = 1 then "" else "s")
+    (pp_ktps capacity) (ntenants * sessions);
+  let points =
+    List.map
+      (fun frac ->
+        let r =
+          SL.run ~seed:11 ~nshards ~ntenants ~sessions ~reqs
+            ~mode:(SL.Open { ktps = capacity *. frac })
+            ()
+        in
+        { pt_frac = frac; pt = r })
+      fractions
+  in
+  Printf.printf "  %-10s %12s %12s %8s %7s %10s %10s %6s\n" "offered" "rate"
+    "goodput" "shed" "shed%" "p99 write" "p99 read" "gate";
+  List.iter
+    (fun { pt_frac; pt = r } ->
+      Printf.printf "  %-10s %12s %12s %8d %6.2f%% %10d %10d %6d\n"
+        (Printf.sprintf "%.2fxC" pt_frac)
+        (pp_ktps r.SL.r_offered_ktps)
+        (pp_ktps r.SL.r_achieved_ktps)
+        r.SL.r_shed
+        (100.0 *. shed_frac r)
+        (p r.SL.r_lat_write 99.0) (p r.SL.r_lat_read 99.0) r.SL.r_gate_trips)
+    points;
+  (cal, capacity, points)
+
+let point_json ~nshards ~capacity { pt_frac; pt = r } =
+  Printf.sprintf
+    {|    {"shards": %d, "capacity_ktps": %.1f, "fraction": %.2f, "offered_ktps": %.1f, "achieved_ktps": %.1f, "done": %d, "shed": %d, "aborted": %d, "blocked": %d, "gate_trips": %d, "gate_untrips": %d, "queue_depth_hwm": %d, "write_p50": %d, "write_p95": %d, "write_p99": %d, "read_p50": %d, "read_p95": %d, "read_p99": %d, "write_histogram": %s, "read_histogram": %s}|}
+    nshards capacity pt_frac r.SL.r_offered_ktps r.SL.r_achieved_ktps r.SL.r_done
+    r.SL.r_shed r.SL.r_aborted r.SL.r_blocked r.SL.r_gate_trips r.SL.r_gate_untrips
+    r.SL.r_depth_hwm
+    (p r.SL.r_lat_write 50.0)
+    (p r.SL.r_lat_write 95.0)
+    (p r.SL.r_lat_write 99.0)
+    (p r.SL.r_lat_read 50.0)
+    (p r.SL.r_lat_read 95.0)
+    (p r.SL.r_lat_read 99.0)
+    (histogram_json r.SL.r_lat_write)
+    (histogram_json r.SL.r_lat_read)
+
+let run ?(scale = 1.0) () =
+  let reqs = max 60 (int_of_float (300.0 *. scale)) in
+  section
+    (Printf.sprintf
+       "Serving front end: latency vs offered load, %d tenants, sessions scaled \
+        with shard count, open-loop sweep to 1.5x capacity"
+       ntenants);
+  let legs_json = ref [] in
+  let gate_failures = ref [] in
+  List.iter
+    (fun nshards ->
+      let _cal, capacity, points = run_points ~nshards ~reqs in
+      let find frac =
+        List.find (fun pp -> Float.abs (pp.pt_frac -. frac) < 1e-9) points
+      in
+      let base = (find 0.3).pt and target = (find target_fraction).pt in
+      let base_p99 = p base.SL.r_lat_write 99.0 in
+      let target_p99 = p target.SL.r_lat_write 99.0 in
+      let slo = int_of_float (slo_multiple *. float_of_int (max 1 base_p99)) in
+      if target.SL.r_shed > 0 then
+        gate_failures :=
+          Printf.sprintf "%d shards: %d requests shed at the %.1fxC target load"
+            nshards target.SL.r_shed target_fraction
+          :: !gate_failures;
+      if target_p99 > slo then
+        gate_failures :=
+          Printf.sprintf
+            "%d shards: write p99 %d at %.1fxC exceeds the SLO %d (%.0fx light-load p99 \
+             %d)"
+            nshards target_p99 target_fraction slo slo_multiple base_p99
+          :: !gate_failures;
+      let knee_points =
+        List.filter (fun pp -> shed_frac pp.pt >= knee_shed_fraction) points
+      in
+      if knee_points = [] then
+        gate_failures :=
+          Printf.sprintf
+            "%d shards: no sweep point shed >= %.0f%% — the curve never reached the knee"
+            nshards (100.0 *. knee_shed_fraction)
+          :: !gate_failures
+      else
+        Printf.printf
+          "  knee: shedding >= %.0f%% from %.2fxC on; target %.1fxC p99 %d within SLO %d\n"
+          (100.0 *. knee_shed_fraction)
+          (List.hd knee_points).pt_frac target_fraction target_p99 slo;
+      legs_json := !legs_json @ List.map (point_json ~nshards ~capacity) points)
+    [ 1; 8 ];
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"serve\",\n  \"tenants\": %d,\n  \"sessions_per_tenant\": \
+       \"2 * max 2 shards\",\n  \"reqs_per_session\": %d,\n  \"target_fraction\": \
+       %.2f,\n  \"gate\": \
+       \"at %.1fxC: shed == 0 and write p99 <= %.0fx the 0.3xC p99; some sweep point \
+       sheds >= %.0f%% (knee reached)\",\n  \"points\": [\n%s\n  ]\n}\n"
+      ntenants reqs target_fraction target_fraction slo_multiple
+      (100.0 *. knee_shed_fraction)
+      (String.concat ",\n" !legs_json)
+  in
+  write_artifact "BENCH_serve.json" json;
+  match !gate_failures with
+  | [] ->
+    Printf.printf
+      "serve gate: p99 SLO held at the target load and the sweep reached the shedding \
+       knee\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "SERVE GATE FAILURE: %s\n" f) fs;
+    exit 1
+
+let tiny () =
+  ignore
+    (SL.run ~seed:11 ~nshards:1 ~ntenants:2 ~sessions:2 ~reqs:40
+       ~mode:(SL.Closed { think = 200 })
+       ())

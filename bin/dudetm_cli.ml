@@ -358,6 +358,7 @@ let check_cmd =
         ("skip-quorum-gate", Config.Skip_quorum_gate);
         ("skip-handoff-seal", Config.Skip_handoff_seal);
         ("skip-snapshot-validate", Config.Skip_snapshot_validate);
+        ("skip-admission-gate", Config.Skip_admission_gate);
       ]
     in
     Arg.(
@@ -378,7 +379,9 @@ let check_cmd =
              partition descriptor; caught by --migrate), or \
              skip-snapshot-validate (read-only snapshots extend their epoch \
              past a concurrent commit without revalidating the read-set; \
-             caught by --snapshot).")
+             caught by --snapshot), or skip-admission-gate (the serving \
+             front end never sheds and releases write replies at commit \
+             instead of the durable watermark; caught by --serve).")
   in
   let batch =
     Arg.(
@@ -459,6 +462,18 @@ let check_cmd =
              while durable reads run; every completed read-set must be \
              consistent (never torn across a writer's commit) and every \
              durable-mode value must survive recovery.")
+  in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Run the serving front-end crash campaign instead: closed-loop \
+             client sessions drive pair writes through the bounded queue, \
+             admission gate and durable-watermark acker of the multi-tenant \
+             front end; power cuts mid-burst at sampled persist boundaries \
+             must lose no acknowledged request and half-apply no \
+             unacknowledged one (acked-prefix oracle).")
   in
   let media =
     Arg.(
@@ -578,8 +593,8 @@ let check_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress.") in
   let run system workload threads txs deep quick crash_budget sched_seeds fault sched
       crash_at batch replica replica_count replica_scenario shards shard_count migrate
-      snapshot media media_faults media_seed media_seeds evict_frac evict_seed recovery leg
-      crash2 crash3 rec_seeds daemons daemon_seed fault_rate verbose =
+      snapshot serve media media_faults media_seed media_seeds evict_frac evict_seed
+      recovery leg crash2 crash3 rec_seeds daemons daemon_seed fault_rate verbose =
     let log = if verbose then fun s -> Printf.printf "  %s\n%!" s else fun _ -> () in
     let opt n = if n > 0 then Some n else None in
     let txs_or d = Option.value txs ~default:d in
@@ -668,6 +683,25 @@ let check_cmd =
         Printf.printf "snapshot campaign: FAIL: %s\n  replay: %s\n" sn.Check.sn_reason
           (Check.snapshot_replay_line sn);
         `Error (false, "snapshot-read crash check failed")
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Config.Invalid_config msg -> `Error (false, msg)
+    end
+    else if serve then begin
+      match
+        Check.check_serve ~fault
+          ~txs:(txs_or Check.default_serve_txs)
+          ~log ?only_crash:(opt crash_at) ()
+      with
+      | Check.Serve_pass { runs; boundaries; acked; shed } ->
+        Printf.printf
+          "serve campaign: PASS (%d runs, %d persist boundaries, %d acked requests, %d \
+           shed)\n"
+          runs boundaries acked shed;
+        `Ok ()
+      | Check.Serve_fail sv ->
+        Printf.printf "serve campaign: FAIL: %s\n  replay: %s\n" sv.Check.sv_reason
+          (Check.serve_replay_line sv);
+        `Error (false, "serving front-end crash check failed")
       | exception Invalid_argument msg -> `Error (false, msg)
       | exception Config.Invalid_config msg -> `Error (false, msg)
     end
@@ -823,12 +857,16 @@ let check_cmd =
           exactly one shard with no acknowledged write lost.  With --snapshot, a \
           snapshot-read campaign: read-only snapshot readers run in volatile and \
           durable-only mode against pair writers through power cuts; read-sets \
-          must never tear and durable-mode values must survive recovery.")
+          must never tear and durable-mode values must survive recovery.  With \
+          --serve, a serving front-end campaign: client sessions drive requests \
+          through the bounded queue, admission gate and durable-watermark acker; \
+          power cuts mid-burst must lose no acknowledged request and half-apply \
+          no unacknowledged one.")
     Term.(
       ret
         (const run $ system $ workload $ threads $ txs $ deep $ quick $ crash_budget
        $ sched_seeds $ mutate $ sched $ crash_at $ batch $ replica $ replica_count
-       $ replica_scenario $ shards $ shard_count $ migrate $ snapshot $ media
+       $ replica_scenario $ shards $ shard_count $ migrate $ snapshot $ serve $ media
        $ media_faults $ media_seed $ media_seeds $ evict $ evict_seed $ recovery
        $ leg $ crash2 $ crash3 $ rec_seeds $ daemons $ daemon_seed $ fault_rate
        $ verbose))
@@ -913,6 +951,110 @@ let shard_cmd =
       ret
         (const run $ nshards $ cross $ ntxs $ workers $ bandwidth $ latency $ seed
        $ trace))
+
+(* ------------------------------- serve -------------------------------- *)
+
+let serve_cmd =
+  let module SL = Dudetm_serve.Serve_load in
+  let nshards =
+    Arg.(value & opt int 2 & info [ "n"; "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let tenants = Arg.(value & opt int 4 & info [ "tenants" ] ~doc:"Tenant count.") in
+  let sessions =
+    Arg.(
+      value & opt int 4 & info [ "sessions" ] ~doc:"Client sessions per tenant.")
+  in
+  let reqs =
+    Arg.(
+      value & opt int 200 & info [ "reqs" ] ~doc:"Requests per client session.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("open", `Open); ("closed", `Closed) ]) `Open
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Arrival process: open (Poisson at --rate, independent of service \
+             time) or closed (one outstanding request per session, --think \
+             cycles between replies).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~docv:"KTPS"
+          ~doc:"With --mode open: total offered load, kilo-requests/s.")
+  in
+  let think =
+    Arg.(
+      value & opt int 2000
+      & info [ "think" ] ~doc:"With --mode closed: think time, cycles.")
+  in
+  let ro =
+    Arg.(
+      value & opt int 500
+      & info [ "ro" ] ~docv:"PERMILLE"
+          ~doc:"Read-only requests per 1000 (reads bypass the admission gate).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~doc:"Per-tenant Zipf skew exponent.")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Workload RNG seed.") in
+  let run nshards tenants sessions reqs mode rate think ro theta seed =
+    if nshards < 1 || nshards > 60 then `Error (false, "--shards must be in [1, 60]")
+    else if tenants < 1 then `Error (false, "--tenants must be positive")
+    else if sessions < 1 then `Error (false, "--sessions must be positive")
+    else begin
+      let mode =
+        match mode with
+        | `Open -> SL.Open { ktps = rate }
+        | `Closed -> SL.Closed { think }
+      in
+      let r =
+        SL.run ~theta ~ro_permille:ro ~seed ~nshards ~ntenants:tenants ~sessions
+          ~reqs ~mode ()
+      in
+      Printf.printf
+        "serve: %d tenants x %d sessions (%s loop), %d shards, %d reqs/session\n"
+        tenants sessions r.SL.r_mode nshards reqs;
+      if r.SL.r_mode = "open" then
+        Printf.printf "  offered load:     %s\n" (H.pp_ktps r.SL.r_offered_ktps);
+      Printf.printf "  goodput:          %s (%d replies)\n"
+        (H.pp_ktps r.SL.r_achieved_ktps)
+        r.SL.r_done;
+      Printf.printf "  shed:             %d (typed Overloaded replies)\n" r.SL.r_shed;
+      Printf.printf "  aborted:          %d\n" r.SL.r_aborted;
+      let p l q = Dudetm_sim.Stats.Latency.percentile l q in
+      Printf.printf "  write latency:    p50 %d / p95 %d / p99 %d cyc\n"
+        (p r.SL.r_lat_write 50.0) (p r.SL.r_lat_write 95.0) (p r.SL.r_lat_write 99.0);
+      Printf.printf "  read latency:     p50 %d / p95 %d / p99 %d cyc\n"
+        (p r.SL.r_lat_read 50.0) (p r.SL.r_lat_read 95.0) (p r.SL.r_lat_read 99.0);
+      Printf.printf "  admission gate:   %d trips, %d reopens, queue hwm %d\n"
+        r.SL.r_gate_trips r.SL.r_gate_untrips r.SL.r_depth_hwm;
+      Printf.printf "  per tenant:       %-8s %10s %8s %12s\n" "tenant" "done" "shed"
+        "p99 (cyc)";
+      Array.iteri
+        (fun i d ->
+          Printf.printf "                    %-8d %10d %8d %12d\n" i d
+            r.SL.r_tenant_shed.(i)
+            (p r.SL.r_tenant_lat.(i) 99.0))
+        r.SL.r_tenant_done;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive the multi-tenant serving front end (bounded request queue, \
+          hysteresis admission gate, deficit-round-robin dispatch, \
+          durable-watermark acknowledgements) with open-loop Poisson or \
+          closed-loop client sessions over a sharded instance, and report \
+          goodput, shed counts, gate transitions and per-tenant latency.")
+    Term.(
+      ret
+        (const run $ nshards $ tenants $ sessions $ reqs $ mode $ rate $ think $ ro
+       $ theta $ seed))
 
 (* ------------------------------- scrub -------------------------------- *)
 
@@ -1052,4 +1194,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dudetm" ~doc)
-          [ run_cmd; trace_cmd; torture_cmd; check_cmd; shard_cmd; scrub_cmd; layout_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            torture_cmd;
+            check_cmd;
+            shard_cmd;
+            serve_cmd;
+            scrub_cmd;
+            layout_cmd;
+          ]))

@@ -60,6 +60,7 @@ let fault_suffix = function
   | Config.Skip_quorum_gate -> "+skip-quorum-gate"
   | Config.Skip_handoff_seal -> "+skip-handoff-seal"
   | Config.Skip_snapshot_validate -> "+skip-snapshot-validate"
+  | Config.Skip_admission_gate -> "+skip-admission-gate"
 
 let dude_like name (ptm_of_cfg, attach_of_cfg) ?(fault = Config.No_fault) () =
   let cfg = dude_cfg ~combine:(name = "dude-combine") ~fault in
@@ -2650,3 +2651,264 @@ let check_snapshot ?(fault = Config.No_fault) ?(txs = default_snapshot_txs)
       match !result with
       | Some f -> f
       | None -> Snapshot_pass { runs = !runs; boundaries = total; reads = !reads })
+
+(* ------------------------------------------------------------------ *)
+(* Serving front-end crash campaign                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve campaign drives the full front end — bounded queue,
+   admission gate, DRR dispatch, durable-watermark acker — with one
+   closed-loop client session per pair and cuts power mid-burst at
+   sampled persist boundaries across both shard devices.  Each write of
+   value [v] to pair [p] stamps both slots of the pair, values are dense
+   increments, and the client records [acked.(p) = v] only after its
+   reply arrives.  The acked-prefix oracle after re-attach:
+
+   - {b no half-applied request}: both slots of every pair agree
+     (a torn pair means a request was applied in part);
+   - {b no acked request lost}: the recovered value covers [acked.(p)] —
+     a reply is a durability promise.  The [Skip_admission_gate] mutant
+     releases write replies at commit instead of the durable watermark,
+     so a cut in the commit-to-persist window fails exactly this check;
+   - {b no phantom}: the recovered value never exceeds the largest value
+     the client ever submitted;
+   - {b quiescent exactness}: with no cut, every pair recovers to
+     exactly [txs]. *)
+
+module Srv = Dudetm_serve.Serve.Make (Dudetm_tm.Tinystm)
+module Serve = Dudetm_serve.Serve
+
+let serve_nshards = 2
+
+let serve_ntenants = 2
+
+let serve_npairs = 4
+
+let default_serve_txs = 10
+
+let serve_sites_budget = shard_sites_budget
+
+(* Pair [p] lives on shard [p mod serve_nshards]; its two slots sit past
+   the root word at a stride that keeps pairs on one shard apart. *)
+let sv_shard_of p = p mod serve_nshards
+
+let sv_slot_a p = 8 + (16 * (p / serve_nshards))
+
+let sv_slot_b p = sv_slot_a p + 8
+
+(* Small queue and tight hysteresis so the campaign exercises shedding
+   and gate transitions, not just the happy path. *)
+let serve_scfg =
+  {
+    Serve.queue_capacity = 8;
+    trip_depth = 6;
+    untrip_depth = 2;
+    drr_quantum = 2;
+    slots_per_session = 2;
+    workers_per_shard = 2;
+  }
+
+let serve_app =
+  {
+    Srv.shard_of = (fun key -> sv_shard_of (Int64.to_int key));
+    write =
+      (fun tx ~shard ~key ~payload ->
+        let p = Int64.to_int key in
+        Srv.Sh.write tx ~shard (sv_slot_a p) payload;
+        Srv.Sh.write tx ~shard (sv_slot_b p) payload);
+    read =
+      (fun tx ~shard ~key ->
+        let p = Int64.to_int key in
+        let a = Srv.Sh.read tx ~shard (sv_slot_a p) in
+        let b = Srv.Sh.read tx ~shard (sv_slot_b p) in
+        if Int64.equal a b then a else -1L);
+  }
+
+type serve_failure = {
+  sv_fault : Config.fault;
+  sv_txs : int;
+  sv_crash : int option;  (* power cut (persist boundary) *)
+  sv_reason : string;
+}
+
+type serve_report =
+  | Serve_pass of { runs : int; boundaries : int; acked : int; shed : int }
+  | Serve_fail of serve_failure
+
+let serve_replay_line sv =
+  Printf.sprintf "dudetm check --serve%s --txs %d%s"
+    (match sv.sv_fault with
+    | Config.No_fault -> ""
+    | f ->
+      let s = fault_suffix f in
+      " --mutate " ^ String.sub s 1 (String.length s - 1))
+    sv.sv_txs
+    (match sv.sv_crash with None -> "" | Some k -> Printf.sprintf " --crash-at %d" k)
+
+(* One full run: the front end over [serve_nshards] fresh devices, one
+   closed-loop client per pair submitting dense increments (retrying the
+   same value after a shed or abort), a power cut at the [crash]-th
+   persist boundary counted across all devices, re-attach, oracle.
+   Returns (verdict, boundaries, acked total, shed total). *)
+let serve_run ~fault ~txs ~crash =
+  let cfg =
+    Dudetm_serve.Serve_load.engine_cfg ~fault
+      ~workers:serve_scfg.Serve.workers_per_shard ()
+  in
+  let sh = Srv.Sh.create ~nshards:serve_nshards cfg in
+  let nvms = Array.init serve_nshards (fun s -> Srv.Sh.nvm sh s) in
+  let sites = ref 0 in
+  let err = ref None in
+  let report r = if !err = None then err := Some r in
+  Array.iter
+    (fun nvm ->
+      Nvm.set_persist_hook nvm
+        (Some
+           (fun () ->
+             incr sites;
+             match crash with Some k when !sites = k -> raise Crash_now | _ -> ())))
+    nvms;
+  let srv = Srv.create ~scfg:serve_scfg ~app:serve_app ~ntenants:serve_ntenants sh in
+  let acked = Array.make serve_npairs 0 in
+  let submitted = Array.make serve_npairs 0 in
+  let shed = ref 0 in
+  let crashed = ref false in
+  (try
+     ignore
+       (Sched.run (fun () ->
+            Srv.start srv;
+            let clients_done = ref 0 in
+            for p = 0 to serve_npairs - 1 do
+              ignore
+                (Sched.spawn
+                   (Printf.sprintf "serve-client-%d" p)
+                   (fun () ->
+                     let tenant = p mod serve_ntenants in
+                     let key = Int64.of_int p in
+                     let wd =
+                       Srv.make_desc ~tenant ~session:p
+                         (Serve.Write { key; payload = 0L })
+                     in
+                     let rd =
+                       Srv.make_desc ~tenant ~session:p (Serve.Read { key })
+                     in
+                     for v = 1 to txs do
+                       submitted.(p) <- v;
+                       let payload = Int64.of_int v in
+                       let rec attempt () =
+                         Srv.set_op wd (Serve.Write { key; payload });
+                         if not (Srv.submit srv wd) then begin
+                           incr shed;
+                           Sched.advance 2_000;
+                           attempt ()
+                         end
+                         else
+                           match Srv.await wd with
+                           | Serve.R_executed _ -> acked.(p) <- v
+                           | Serve.R_aborted -> attempt ()
+                           | _ -> report "write reply of unexpected shape"
+                       in
+                       attempt ();
+                       (* Opportunistic snapshot read: the pair must never
+                          be torn in flight either. *)
+                       if v land 3 = 0 then begin
+                         Srv.set_op rd (Serve.Read { key });
+                         if Srv.submit srv rd then
+                           match Srv.await rd with
+                           | Serve.R_value r when Int64.equal r (-1L) ->
+                             report
+                               (Printf.sprintf "torn in-flight read of pair %d" p)
+                           | _ -> ()
+                       end
+                     done;
+                     incr clients_done))
+            done;
+            Sched.wait_until ~label:"serve clients done" (fun () ->
+                !clients_done = serve_npairs);
+            Srv.stop srv))
+   with
+  | Crash_now -> crashed := true
+  | Sched.Deadlock msg -> report ("deadlock: " ^ msg)
+  | e -> report ("engine raised " ^ Printexc.to_string e));
+  Array.iter (fun nvm -> Nvm.set_persist_hook nvm None) nvms;
+  let acked_total = Array.fold_left ( + ) 0 acked in
+  match !err with
+  | Some reason -> (Some reason, !sites, acked_total, !shed)
+  | None -> (
+    Array.iter Nvm.crash nvms;
+    match Srv.Sh.attach ~nshards:serve_nshards cfg nvms with
+    | exception e ->
+      (Some ("recovery raised " ^ Printexc.to_string e), !sites, acked_total, !shed)
+    | sh2, _recovery ->
+      let verdict = ref None in
+      let fail r = if !verdict = None then verdict := Some r in
+      for p = 0 to serve_npairs - 1 do
+        let e = Srv.Sh.engine sh2 (sv_shard_of p) in
+        let ra = Int64.to_int (Srv.Engine.heap_read_u64 e (sv_slot_a p)) in
+        let rb = Int64.to_int (Srv.Engine.heap_read_u64 e (sv_slot_b p)) in
+        if ra <> rb then
+          fail
+            (Printf.sprintf "half-applied request: pair %d recovered %d/%d" p ra rb);
+        if ra < acked.(p) then
+          fail
+            (Printf.sprintf
+               "acked request lost: pair %d acked %d, recovery found %d" p acked.(p)
+               ra);
+        if ra > submitted.(p) then
+          fail
+            (Printf.sprintf "phantom request: pair %d recovered %d, submitted %d" p
+               ra submitted.(p));
+        if (not !crashed) && ra <> txs then
+          fail
+            (Printf.sprintf "quiescent stop lost requests: pair %d is %d, expected %d"
+               p ra txs)
+      done;
+      (!verdict, !sites, acked_total, !shed))
+
+let check_serve ?(fault = Config.No_fault) ?(txs = default_serve_txs)
+    ?(log = fun _ -> ()) ?only_crash () =
+  let fail ~crash reason =
+    Serve_fail { sv_fault = fault; sv_txs = txs; sv_crash = crash; sv_reason = reason }
+  in
+  match only_crash with
+  | Some k -> (
+    match serve_run ~fault ~txs ~crash:(Some k) with
+    | Some reason, _, _, _ -> fail ~crash:(Some k) reason
+    | None, s, a, sd -> Serve_pass { runs = 1; boundaries = s; acked = a; shed = sd })
+  | None -> (
+    log
+      (Printf.sprintf
+         "serve: %d closed-loop clients x %d reqs over %d shards x %d tenants, clean run"
+         serve_npairs txs serve_nshards serve_ntenants);
+    match serve_run ~fault ~txs ~crash:None with
+    | Some reason, _, _, _ -> fail ~crash:None reason
+    | None, total, acked0, shed0 ->
+      let budget = serve_sites_budget () in
+      let runs = ref 1 in
+      let acked = ref acked0 in
+      let shed = ref shed0 in
+      let result = ref None in
+      let picks =
+        if total <= budget then List.init total (fun i -> i + 1)
+        else List.init budget (fun i -> 1 + (i * (total - 1) / (budget - 1)))
+      in
+      log
+        (Printf.sprintf
+           "serve: %d persist boundaries across %d devices, cutting power at %d of them \
+            mid-burst"
+           total serve_nshards (List.length picks));
+      List.iter
+        (fun k ->
+          if !result = None then begin
+            incr runs;
+            match serve_run ~fault ~txs ~crash:(Some k) with
+            | Some reason, _, _, _ -> result := Some (fail ~crash:(Some k) reason)
+            | None, _, a, sd ->
+              acked := !acked + a;
+              shed := !shed + sd
+          end)
+        picks;
+      match !result with
+      | Some f -> f
+      | None ->
+        Serve_pass { runs = !runs; boundaries = total; acked = !acked; shed = !shed })

@@ -651,3 +651,56 @@ val check_snapshot :
     persist boundaries, then power cuts at an evenly-spread sample of
     them (the [DUDETM_CHECK_BUDGET]-scaled site budget).  [only_crash]
     replays exactly one case. *)
+
+(** {1 Serving front-end crash campaign}
+
+    [dudetm check --serve] drives the full serving front end
+    ({!Dudetm_serve.Serve}: bounded request queue, hysteresis admission
+    gate, deficit-round-robin dispatch, durable-watermark acker) with one
+    closed-loop client session per key pair over a 2-shard engine, and
+    cuts power mid-burst at sampled persist boundaries counted across
+    both devices.  Every write of value [v] stamps both slots of its
+    pair; values are dense increments; a client records [v] as {e acked}
+    only once its reply arrives.  The acked-prefix oracle after
+    re-attach:
+
+    - {b no half-applied request}: both slots of every pair agree;
+    - {b no acked request lost}: the recovered value covers the largest
+      acked value — a reply is a durability promise.  The
+      {!Dudetm_core.Config.Skip_admission_gate} mutant releases write
+      replies at commit instead of the durable watermark, so a cut in
+      the commit-to-persist window fails exactly this check;
+    - {b no phantom}: the recovered value never exceeds the largest
+      submitted value;
+    - {b quiescent exactness}: with no cut, every pair recovers to
+      exactly [txs]. *)
+
+type serve_failure = {
+  sv_fault : Dudetm_core.Config.fault;  (** seeded mutant in force *)
+  sv_txs : int;  (** requests per client session *)
+  sv_crash : int option;
+      (** failing persist boundary; [None]: the clean quiescent run *)
+  sv_reason : string;
+}
+
+type serve_report =
+  | Serve_pass of { runs : int; boundaries : int; acked : int; shed : int }
+  | Serve_fail of serve_failure
+
+val serve_replay_line : serve_failure -> string
+(** The replayable [dudetm check --serve ...] one-liner. *)
+
+val default_serve_txs : int
+
+val check_serve :
+  ?fault:Dudetm_core.Config.fault ->
+  ?txs:int ->
+  ?log:(string -> unit) ->
+  ?only_crash:int ->
+  unit ->
+  serve_report
+(** Run the campaign: a clean run (shedding and gate transitions active —
+    the campaign queue is deliberately small) counts the persist
+    boundaries, then power cuts at an evenly-spread sample of them (the
+    [DUDETM_CHECK_BUDGET]-scaled site budget).  [only_crash] replays
+    exactly one boundary. *)

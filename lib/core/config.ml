@@ -11,6 +11,7 @@ type fault =
   | Skip_quorum_gate
   | Skip_handoff_seal
   | Skip_snapshot_validate
+  | Skip_admission_gate
 
 exception Invalid_config of string
 

@@ -86,6 +86,15 @@ type fault =
           different epochs (a torn read-set) — e.g. one half of an
           invariant-preserving pair update.  Validates the snapshot
           campaign ([dudetm check --snapshot]). *)
+  | Skip_admission_gate
+      (** The serving front end ([lib/serve]) runs with its admission gate
+          stubbed out: overload is never shed (the bounded request queue
+          grows without limit) and write acknowledgements are released at
+          {e commit} instead of at the shard's durable watermark — the
+          gate is the one component that both admits requests and releases
+          replies against the acked prefix.  A power cut mid-burst then
+          loses acknowledged requests.  Validates the serving campaign
+          ([dudetm check --serve]). *)
 
 type t = {
   heap_size : int;  (** bytes of persistent data heap *)

@@ -131,6 +131,11 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
     mutable ship_hook : (shipment -> unit) option;
     mutable replay_gate : (int -> bool) option;
     fault_rng : Rng.t;  (* injected transient daemon failures *)
+    (* Front-end context supplement, installed by layers above the engine
+       (the serving front end): folded into the [Drain_stalled] diagnostic
+       so an operator can tell "engine stalled" from "front end overloaded"
+       (queue depth, shed counts, gate state).  Must be a pure read. *)
+    mutable drain_context : (unit -> string) option;
     mutable read_only : string option;  (* degraded mode: Some reason *)
     mutable stop_flag : bool;
     mutable draining : bool;
@@ -222,6 +227,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       ship_hook = None;
       replay_gate = None;
       fault_rng = Rng.create ((cfg.Config.seed * 31) + 0x5eed);
+      drain_context = None;
       read_only = None;
       stop_flag = false;
       draining = false;
@@ -347,6 +353,8 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
   let cross_frontier t = t.cross_frontier
 
   let set_ro_watermark t wm = t.ro_watermark <- wm
+
+  let set_drain_context t f = t.drain_context <- f
 
   (* Engine-space watermark durable-only snapshots pin at: the installed
      one (shard effective IDs, replication quorum) or the local durable
@@ -1081,6 +1089,7 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) = struct
       (Stats.get t.stats "bp_throttle_cycles")
       (Stats.get t.stats "pmalloc_waits")
       (match t.read_only with None -> "no" | Some r -> Printf.sprintf "%S" r)
+    ^ (match t.drain_context with None -> "" | Some f -> " " ^ f ())
 
   (* Mark the instance as draining without waiting.  The sharding layer
      sets this on every region before blocking in [drain]: a combined-mode

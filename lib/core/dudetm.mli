@@ -249,6 +249,13 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val ro_watermark : t -> int
   (** The watermark durable-only snapshots currently pin at. *)
 
+  val set_drain_context : t -> (unit -> string) option -> unit
+  (** Install a front-end context supplement appended to the
+      {!Drain_stalled} diagnostic (the serving layer reports its queue
+      depth, shed counts and admission-gate state) so an operator can
+      distinguish "engine stalled" from "front end overloaded".  The thunk
+      must be a pure read.  [None] removes it. *)
+
   (** {1 Cross-shard transactions (sharding layer hooks)} *)
 
   val seal_cross : tx -> gtid:int -> mask:int -> unit
@@ -337,6 +344,18 @@ module Make (Tm : Dudetm_tm.Tm_intf.S) : sig
   val heap_read_u64 : t -> int -> int64
   (** Non-transactional read of the volatile heap view (for debugging and
       test assertions outside transactions). *)
+
+  val ring_pressure : t -> bool
+  (** [true] while any persistent log ring is above the backpressure
+      high-water mark ({!Config.t.bp_hwm_fraction}).  Pure read — the
+      admission gate of the serving front end polls it when deciding
+      whether to shed, so overload is detected {e before} Perform threads
+      start blocking in throttle waits. *)
+
+  val drain_diagnostic : t -> string
+  (** The diagnostic string {!drain} would raise with right now: pipeline
+      watermarks, ring occupancy, daemon counters, plus any installed
+      {!set_drain_context} supplement.  For tests and operator tooling. *)
 
   val stats : t -> Dudetm_sim.Stats.t
   (** ["txs"], ["log_entries"], ["flush_records"], ["flush_payload_bytes"],

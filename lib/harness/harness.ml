@@ -299,6 +299,17 @@ let write_artifact path contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Sparse log2 histogram as a JSON array of [lower_bound_cycles, count]
+   pairs — the full latency distribution behind the percentile summary, so
+   bench artifacts can plot the shape at each offered-load point. *)
+let histogram_json r =
+  let pairs =
+    List.map
+      (fun (b, c) -> Printf.sprintf "[%d,%d]" (1 lsl b) c)
+      (Stats.Latency.log2_histogram r)
+  in
+  "[" ^ String.concat "," pairs ^ "]"
+
 let pp_commit_latency r =
   let p q = Stats.Latency.percentile r.commit_latency q in
   Printf.sprintf "p50 %d / p95 %d / p99 %d cyc" (p 50.0) (p 95.0) (p 99.0)

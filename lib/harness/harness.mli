@@ -111,6 +111,12 @@ val write_artifact : string -> string -> unit
 (** Write a machine-readable benchmark artifact (the BENCH_*.json files CI
     uploads) and print the one-line "wrote ..." notice. *)
 
+val histogram_json : Dudetm_sim.Stats.Latency.r -> string
+(** Sparse log2 latency histogram as a JSON array of
+    [[lower_bound_cycles, count]] pairs, in increasing bound order — the
+    full distribution behind the percentile summary, embedded per
+    offered-load point in [BENCH_serve.json]. *)
+
 val pp_commit_latency : result -> string
 (** ["p50 .. / p95 .. / p99 .. cyc"] over {!result.commit_latency}. *)
 

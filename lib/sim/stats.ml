@@ -66,6 +66,29 @@ module Latency = struct
       float_of_int !sum /. float_of_int r.len
     end
 
+  let log2_bucket v =
+    if v <= 1 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 1 do
+        b := !b + 1;
+        v := !v lsr 1
+      done;
+      !b
+    end
+
+  let log2_histogram r =
+    let counts = Array.make 63 0 in
+    for i = 0 to r.len - 1 do
+      let b = log2_bucket r.samples.(i) in
+      counts.(b) <- counts.(b) + 1
+    done;
+    let out = ref [] in
+    for b = 62 downto 0 do
+      if counts.(b) > 0 then out := (b, counts.(b)) :: !out
+    done;
+    !out
+
   let reset r =
     r.len <- 0;
     r.sorted <- false

@@ -26,4 +26,5 @@ let () =
       ("differential", Test_differential.suite);
       ("replica", Test_replica.suite);
       ("snapshot", Test_snapshot.suite);
+      ("serve", Test_serve.suite);
     ]
